@@ -1,0 +1,280 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§5), plus ablations of the modeling choices DESIGN.md calls
+// out and micro-benchmarks of the two engines.
+//
+// Each reproduction benchmark runs a scaled-down campaign per iteration
+// and reports the headline quantity as a custom metric (ms), so
+// `go test -bench=. -benchmem` both exercises and summarizes the
+// reproduction. cmd/repro regenerates the full-resolution artifacts.
+package ctsan
+
+import (
+	"testing"
+
+	"ctsan/internal/experiment"
+	"ctsan/internal/neko"
+	"ctsan/internal/netsim"
+	"ctsan/internal/rng"
+	"ctsan/internal/san"
+	"ctsan/internal/sanmodel"
+)
+
+// benchFidelity keeps one benchmark iteration around a second.
+func benchFidelity() experiment.Fidelity {
+	f := experiment.QuickFidelity()
+	f.Executions = 150
+	f.QoSExecs = 80
+	f.Replicas = 150
+	f.DelayProbes = 1500
+	f.Ns = []int{3, 5}
+	f.SimNs = []int{3, 5}
+	f.TGrid = []float64{2, 10, 30, 100}
+	f.CDFGridSteps = 40
+	return f
+}
+
+// BenchmarkFig6EndToEndDelay regenerates Fig. 6: the end-to-end delay
+// CDFs and the §5.1 bi-modal fit.
+func BenchmarkFig6EndToEndDelay(b *testing.B) {
+	f := benchFidelity()
+	for i := 0; i < b.N; i++ {
+		_, fits, err := experiment.Fig6(f, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(fits.Unicast.Mean(), "unicast-mean-ms")
+		b.ReportMetric(fits.Unicast.P1, "mode1-prob")
+	}
+}
+
+// BenchmarkFig7aLatencyCDFMeasured regenerates Fig. 7(a): class-1 latency
+// CDFs from measurements for every n.
+func BenchmarkFig7aLatencyCDFMeasured(b *testing.B) {
+	f := benchFidelity()
+	for i := 0; i < b.N; i++ {
+		_, results, err := experiment.Fig7a(f, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(results[3].Acc.Mean(), "n3-latency-ms")
+		b.ReportMetric(results[5].Acc.Mean(), "n5-latency-ms")
+	}
+}
+
+// BenchmarkFig7bLatencyCDFSimulated regenerates Fig. 7(b): the SAN t_send
+// sweep against the measured CDF for n = 5.
+func BenchmarkFig7bLatencyCDFSimulated(b *testing.B) {
+	f := benchFidelity()
+	for i := 0; i < b.N; i++ {
+		_, best, err := experiment.Fig7b(f, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(best*1000, "best-tsend-us")
+	}
+}
+
+// BenchmarkTable1CrashScenarios regenerates Table 1: measured and
+// simulated latency under the three crash scenarios.
+func BenchmarkTable1CrashScenarios(b *testing.B) {
+	f := benchFidelity()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Table1(f, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8FDQoS regenerates Fig. 8: the failure detector QoS metrics
+// T_MR and T_M versus the timeout T.
+func BenchmarkFig8FDQoS(b *testing.B) {
+	f := benchFidelity()
+	for i := 0; i < b.N; i++ {
+		points, err := experiment.RunClass3(f, uint64(i)+1, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a, tm := experiment.Fig8(points)
+		if len(a.Series) == 0 || len(tm.Series) == 0 {
+			b.Fatal("empty figure")
+		}
+		b.ReportMetric(points[0].QoS.TMR, "tmr-at-smallest-T-ms")
+	}
+}
+
+// BenchmarkFig9aLatencyVsTimeoutMeasured regenerates Fig. 9(a).
+func BenchmarkFig9aLatencyVsTimeoutMeasured(b *testing.B) {
+	f := benchFidelity()
+	for i := 0; i < b.N; i++ {
+		points, err := experiment.RunClass3(f, uint64(i)+1, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fig := experiment.Fig9a(points)
+		first, last := fig.Series[0].Y[0], fig.Series[0].Y[len(fig.Series[0].Y)-1]
+		b.ReportMetric(first/last, "smallT-over-plateau")
+	}
+}
+
+// BenchmarkFig9bLatencyVsTimeoutSimulated regenerates Fig. 9(b): SAN with
+// measured QoS (det and exp FD sojourns) against measurements.
+func BenchmarkFig9bLatencyVsTimeoutSimulated(b *testing.B) {
+	f := benchFidelity()
+	for i := 0; i < b.N; i++ {
+		points, err := experiment.RunClass3(f, uint64(i)+1, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiment.Fig9b(points, f, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationBroadcastModel compares the paper's single-message
+// broadcast model with the unicast-broadcast ablation on the n = 3
+// participant-crash scenario (the Table 1 anomaly, §5.3).
+func BenchmarkAblationBroadcastModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		run := func(unicast bool, crashed []int) float64 {
+			p := sanmodel.DefaultParams(3)
+			p.UnicastBroadcast = unicast
+			p.Crashed = crashed
+			res, err := sanmodel.Simulate(p, 800, 1e6, uint64(i)+1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res.Acc.Mean()
+		}
+		deltaPaper := run(false, []int{2}) - run(false, nil)
+		deltaUni := run(true, []int{2}) - run(true, nil)
+		b.ReportMetric(deltaPaper*1000, "paper-model-delta-us")
+		b.ReportMetric(deltaUni*1000, "unicast-model-delta-us")
+	}
+}
+
+// BenchmarkAblationFDCorrelation compares independent per-pair FD
+// submodels (the paper's assumption) with fully correlated ones at bad
+// QoS — the §5.4 mismatch mechanism.
+func BenchmarkAblationFDCorrelation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		run := func(correlated bool) float64 {
+			p := sanmodel.DefaultParams(5)
+			p.FD = sanmodel.FDModel{TMR: 8, TM: 2, Kind: sanmodel.FDExponential}
+			p.FDCorrelated = correlated
+			res, err := sanmodel.Simulate(p, 500, 1e6, uint64(i)+1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res.Acc.Mean()
+		}
+		b.ReportMetric(run(false), "independent-ms")
+		b.ReportMetric(run(true), "correlated-ms")
+	}
+}
+
+// BenchmarkAblationSchedulerQuantum measures the Fig. 9(a) peak mechanism:
+// class-3 latency at T = 10 ms with and without the 10 ms scheduler-grid
+// deferrals.
+func BenchmarkAblationSchedulerQuantum(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		run := func(gridProb float64) float64 {
+			params := netsim.DefaultParams(5)
+			params.GridProb = gridProb
+			res, err := experiment.RunLatency(experiment.LatencySpec{
+				N: 5, Executions: 150, Seed: uint64(i) + 1,
+				Params: params, FDMode: experiment.FDHeartbeat, TimeoutT: 10,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res.Acc.Mean()
+		}
+		b.ReportMetric(run(0.35), "with-quantum-ms")
+		b.ReportMetric(run(0), "without-quantum-ms")
+	}
+}
+
+// BenchmarkSANEngine measures raw SAN simulator throughput on the n = 5
+// consensus model (events per op reported by Go's timer).
+func BenchmarkSANEngine(b *testing.B) {
+	model, err := sanmodel.Build(sanmodel.DefaultParams(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim := san.NewSim(model.SAN, rng.New(uint64(i)+1))
+		if _, stopped := sim.Run(1e6, model.Done); !stopped {
+			b.Fatal("did not decide")
+		}
+	}
+}
+
+// BenchmarkClusterEmulator measures one class-1 consensus execution on the
+// emulated cluster.
+func BenchmarkClusterEmulator(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunLatency(experiment.LatencySpec{
+			N: 5, Executions: 1, Seed: uint64(i) + 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusterEmulatorClass3 measures a heartbeat-FD execution (much
+// heavier: n² heartbeats flow continuously).
+func BenchmarkClusterEmulatorClass3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunLatency(experiment.LatencySpec{
+			N: 5, Executions: 5, Seed: uint64(i) + 1,
+			FDMode: experiment.FDHeartbeat, TimeoutT: 10,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCrashScenario measures a class-2 (coordinator crash) execution.
+func BenchmarkCrashScenario(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunLatency(experiment.LatencySpec{
+			N: 5, Executions: 1, Seed: uint64(i) + 1, Crashed: []neko.ProcessID{1},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkThroughputSequentialConsensus measures the §6 future-work
+// extension: chained consensus instances (#k+1 starts when #k decides).
+func BenchmarkThroughputSequentialConsensus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunThroughput(experiment.ThroughputSpec{
+			N: 5, Executions: 150, Warmup: 30, Seed: uint64(i) + 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rate, "decisions/s")
+		b.ReportMetric(res.InterDecision.Mean(), "inter-decision-ms")
+	}
+}
+
+// BenchmarkCrashTransient measures the §6 transient-behaviour extension:
+// latency around a mid-campaign coordinator crash under a live heartbeat
+// failure detector.
+func BenchmarkCrashTransient(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunCrashTransient(experiment.CrashTransientSpec{
+			N: 5, CrashID: 1, CrashAfter: 10, Executions: 40, TimeoutT: 20, Seed: uint64(i) + 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.SteadyBefore, "steady-before-ms")
+		b.ReportMetric(res.PeakDuring, "transient-peak-ms")
+		b.ReportMetric(res.DetectionTime, "detection-ms")
+	}
+}

@@ -1,0 +1,52 @@
+// Command fdqos measures the heartbeat failure detector's quality of
+// service (Chen et al. metrics, §3.4/§4) across a grid of timeout values,
+// and prints the SAN failure-detector parameters derived from them — the
+// measurement-to-model pipeline of §5.4.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ctsan/internal/experiment"
+)
+
+func main() {
+	var (
+		n     = flag.Int("n", 3, "number of processes")
+		execs = flag.Int("execs", 500, "consensus executions per timeout value")
+		grid  = flag.String("T", "1,2,3,5,7,10,14,20,30,40,70,100", "comma-separated timeout values in ms")
+		seed  = flag.Uint64("seed", 1, "root random seed")
+	)
+	flag.Parse()
+
+	var ts []float64
+	for _, s := range strings.Split(*grid, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fdqos: bad timeout %q: %v\n", s, err)
+			os.Exit(2)
+		}
+		ts = append(ts, v)
+	}
+	fmt.Printf("%8s %10s %10s %12s %10s %8s\n", "T [ms]", "T_MR [ms]", "T_M [ms]", "latency[ms]", "mf pairs", "aborted")
+	for _, T := range ts {
+		res, err := experiment.RunLatency(experiment.LatencySpec{
+			N:          *n,
+			Executions: *execs,
+			Seed:       *seed,
+			FDMode:     experiment.FDHeartbeat,
+			TimeoutT:   T,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fdqos: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%8.1f %10.2f %10.2f %12.3f %7d/%-3d %8d\n",
+			T, res.QoS.TMR, res.QoS.TM, res.Acc.Mean(),
+			res.QoS.MistakeFree, res.QoS.Pairs, res.Aborted)
+	}
+}

@@ -1,0 +1,125 @@
+// Command testbed runs one measurement campaign on the emulated cluster
+// and prints summary statistics — the "experiments on a cluster of PCs"
+// half of the paper's methodology.
+//
+// Examples:
+//
+//	testbed -n 5 -execs 5000                 # class 1 (§5.2)
+//	testbed -n 5 -crash 1                    # class 2, coordinator crash
+//	testbed -n 5 -T 10 -execs 1000           # class 3, heartbeat FD (§5.4)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ctsan/internal/experiment"
+	"ctsan/internal/neko"
+)
+
+func main() {
+	var (
+		n          = flag.Int("n", 3, "number of processes (paper: odd 3..11)")
+		execs      = flag.Int("execs", 1000, "sequential consensus executions")
+		crash      = flag.Int("crash", 0, "process crashed from the beginning (0 = none)")
+		t          = flag.Float64("T", 0, "heartbeat FD timeout in ms (0 = perfect oracle FD)")
+		th         = flag.Float64("Th", 0, "heartbeat period in ms (0 = 0.7*T)")
+		gap        = flag.Float64("gap", 10, "separation between execution starts in ms (§4)")
+		seed       = flag.Uint64("seed", 1, "root random seed")
+		throughput = flag.Bool("throughput", false, "chain executions back to back and report the decision rate (§6 extension)")
+		transient  = flag.Bool("transient", false, "crash -crash mid-campaign under a live heartbeat FD and report the latency transient (§6 extension)")
+	)
+	flag.Parse()
+
+	if *throughput {
+		runThroughput(*n, *execs, *crash, *t, *seed)
+		return
+	}
+	if *transient {
+		runTransient(*n, *execs, *crash, *t, *seed)
+		return
+	}
+
+	spec := experiment.LatencySpec{
+		N:          *n,
+		Executions: *execs,
+		Gap:        *gap,
+		Seed:       *seed,
+	}
+	if *crash > 0 {
+		spec.Crashed = []neko.ProcessID{neko.ProcessID(*crash)}
+	}
+	if *t > 0 {
+		spec.FDMode = experiment.FDHeartbeat
+		spec.TimeoutT = *t
+		spec.PeriodTh = *th
+	}
+	res, err := experiment.RunLatency(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "testbed: %v\n", err)
+		os.Exit(1)
+	}
+	e := res.ECDF()
+	fmt.Printf("latency over %d executions (n=%d):\n", len(res.Latencies), *n)
+	fmt.Printf("  mean   %.3f ms ± %.3f (90%% CI)\n", res.Acc.Mean(), res.Acc.CI(0.90))
+	fmt.Printf("  median %.3f ms   p90 %.3f ms   min %.3f   max %.3f\n",
+		e.Quantile(0.5), e.Quantile(0.9), res.Acc.Min(), res.Acc.Max())
+	fmt.Printf("  mean deciding round %.2f, aborted executions %d\n", res.MeanRounds(), res.Aborted)
+	if *t > 0 {
+		fmt.Printf("  failure detector QoS over T_exp=%.0f ms: %s\n", res.Texp, res.QoS)
+	}
+	fmt.Printf("  simulated %.0f ms of cluster time in %d events\n", res.Texp, res.Events)
+}
+
+// runThroughput executes the §6 throughput extension: consensus #(k+1)
+// starts on each process immediately after #k decides there.
+func runThroughput(n, execs, crash int, timeout float64, seed uint64) {
+	spec := experiment.ThroughputSpec{N: n, Executions: execs, Warmup: execs / 10, Seed: seed}
+	if crash > 0 {
+		spec.Crashed = []neko.ProcessID{neko.ProcessID(crash)}
+	}
+	if timeout > 0 {
+		spec.FDMode = experiment.FDHeartbeat
+		spec.TimeoutT = timeout
+	}
+	res, err := experiment.RunThroughput(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "testbed: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("sequential consensus throughput (n=%d, %d chained executions):\n", n, execs)
+	fmt.Printf("  sustained rate      %.0f decisions/s\n", res.Rate)
+	fmt.Printf("  inter-decision gap  %.3f ms ± %.3f (90%% CI)\n", res.InterDecision.Mean(), res.InterDecision.CI(0.90))
+	fmt.Printf("  decided %d, aborted %d, %d events\n", res.Decided, res.Aborted, res.Events)
+}
+
+// runTransient executes the §6 crash-transient extension.
+func runTransient(n, execs, crash int, timeout float64, seed uint64) {
+	if crash == 0 {
+		crash = 1
+	}
+	if timeout == 0 {
+		timeout = 20
+	}
+	res, err := experiment.RunCrashTransient(experiment.CrashTransientSpec{
+		N: n, CrashID: neko.ProcessID(crash), CrashAfter: execs / 4, Executions: execs,
+		TimeoutT: timeout, Seed: seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "testbed: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("crash transient (n=%d, p%d crashes after execution %d, T=%g ms):\n", n, crash, execs/4, timeout)
+	fmt.Printf("  steady state before crash  %.3f ms\n", res.SteadyBefore)
+	fmt.Printf("  transient peak             %.3f ms\n", res.PeakDuring)
+	fmt.Printf("  steady state after crash   %.3f ms\n", res.SteadyAfter)
+	fmt.Printf("  mean detection time T_D    %.2f ms\n", res.DetectionTime)
+	for k, l := range res.Latency {
+		marker := " "
+		if k == execs/4 {
+			marker = "  <- crash"
+		}
+		fmt.Printf("  exec %3d: %8.3f ms%s\n", k, l, marker)
+	}
+}

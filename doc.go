@@ -1,0 +1,10 @@
+// Package ctsan reproduces "Performance Analysis of a Consensus Algorithm
+// Combining Stochastic Activity Networks and Measurements" (Coccoli,
+// Urbán, Bondavalli, Schiper — DSN 2002): the Chandra–Toueg ◇S consensus
+// algorithm analyzed both by measurements on an emulated cluster and by
+// transient simulation of a Stochastic Activity Network model.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the reproduced tables and figures. The benchmarks in
+// bench_test.go regenerate every evaluation artifact of the paper.
+package ctsan

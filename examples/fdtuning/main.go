@@ -1,0 +1,63 @@
+// Fdtuning: explore the failure-detector tuning trade-off of §2.4 — a
+// small timeout T detects crashes quickly but makes wrong suspicions
+// (hurting consensus latency); a large T is accurate but slow to detect.
+// The example sweeps T, reporting the QoS metrics, the consensus latency,
+// and the crash detection time T_D measured by injecting a crash.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ctsan/internal/experiment"
+	"ctsan/internal/fd"
+	"ctsan/internal/neko"
+	"ctsan/internal/netsim"
+	"ctsan/internal/rng"
+)
+
+func main() {
+	const n = 5
+	fmt.Printf("%8s %12s %10s %12s %12s\n", "T [ms]", "T_MR [ms]", "T_M [ms]", "latency[ms]", "T_D [ms]")
+	for _, T := range []float64{2, 5, 10, 20, 40, 80} {
+		res, err := experiment.RunLatency(experiment.LatencySpec{
+			N: n, Executions: 300, Seed: 7,
+			FDMode: experiment.FDHeartbeat, TimeoutT: T,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		td := detectionTime(n, T)
+		fmt.Printf("%8.0f %12.2f %10.2f %12.3f %12.2f\n",
+			T, res.QoS.TMR, res.QoS.TM, res.Acc.Mean(), td)
+	}
+	fmt.Println("\nsmall T: frequent wrong suspicions (small T_MR) inflate latency;")
+	fmt.Println("large T: accurate but crashes take ~T+T_h to detect (T_D).")
+}
+
+// detectionTime crashes process 2 at t=200 ms and returns the mean time
+// until the other processes suspect it permanently (Chen et al.'s T_D).
+func detectionTime(n int, timeout float64) float64 {
+	params := netsim.DefaultParams(n)
+	cluster, err := netsim.New(params, rng.New(99))
+	if err != nil {
+		log.Fatal(err)
+	}
+	hist := &fd.History{}
+	for i := 1; i <= n; i++ {
+		stack := neko.NewStack(cluster.Context(neko.ProcessID(i)))
+		fd.NewHeartbeat(stack, timeout, 0.7*timeout, hist)
+		cluster.Attach(neko.ProcessID(i), stack)
+	}
+	cluster.Start()
+	const crashAt = 200.0
+	cluster.CrashAt(2, crashAt)
+	cluster.RunUntil(crashAt + 20*timeout + 200)
+	tds := fd.DetectionTimes(hist, 2, crashAt, n)
+	sum, cnt := 0.0, 0
+	for _, v := range tds {
+		sum += v
+		cnt++
+	}
+	return sum / float64(cnt)
+}

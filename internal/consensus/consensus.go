@@ -1,0 +1,490 @@
+// Package consensus implements the Chandra–Toueg consensus algorithm for
+// the ◇S failure detector [11], the protocol analyzed by the paper (§2.1).
+//
+// The algorithm proceeds in asynchronous rounds with a rotating
+// coordinator (p_i coordinates rounds k·n + i). In each round:
+//
+//	phase 1: every process sends its current estimate (value, timestamp)
+//	         to the round's coordinator;
+//	phase 2: the coordinator waits for a majority of estimates, adopts one
+//	         with the largest timestamp and broadcasts it as its proposal;
+//	phase 3: a participant that receives the proposal adopts it and
+//	         replies with a positive acknowledgment; a participant whose
+//	         failure detector suspects the coordinator while waiting
+//	         replies with a negative acknowledgment instead; either way it
+//	         proceeds to the next round;
+//	phase 4: the coordinator waits for a majority of replies; if all are
+//	         positive it broadcasts the decision (reliable broadcast),
+//	         otherwise it moves to the next round.
+//
+// The implementation carries real data (proposed values and timestamps),
+// unlike the SAN model which only captures control (§3). A majority of
+// correct processes is required.
+//
+// Engine multiplexes sequential consensus instances over one process stack
+// — the paper's measurement campaigns run thousands of executions
+// back-to-back (§4) while the failure detector keeps running across them.
+package consensus
+
+import (
+	"fmt"
+
+	"ctsan/internal/neko"
+)
+
+// Message types used by the protocol.
+const (
+	MsgEstimate = "ct.estimate"
+	MsgPropose  = "ct.propose"
+	MsgAck      = "ct.ack"
+	MsgDecide   = "ct.decide"
+)
+
+// Estimate is the phase-1 payload.
+type Estimate struct {
+	Cid   uint64 // consensus instance
+	Round int
+	Val   int64
+	TS    int // round in which Val was last adopted; 0 initially
+}
+
+// Propose is the phase-2 payload.
+type Propose struct {
+	Cid   uint64
+	Round int
+	Val   int64
+}
+
+// Ack is the phase-3 payload; OK=false is a negative acknowledgment.
+type Ack struct {
+	Cid   uint64
+	Round int
+	OK    bool
+}
+
+// Decide is the decision broadcast payload.
+type Decide struct {
+	Cid uint64
+	Val int64
+}
+
+// Decision describes a local decision event.
+type Decision struct {
+	Cid   uint64
+	Val   int64
+	At    float64 // local clock (ms) when the decision was delivered
+	Round int     // round in which the deciding proposal was issued
+}
+
+// Options tune protocol variants.
+type Options struct {
+	// RelayDecide re-broadcasts the decision upon first reception,
+	// implementing reliable broadcast (needed if the decider may crash
+	// mid-broadcast). Default off: the paper's scenarios have no crashes
+	// after t_0, and the latency measure stops at the first decision.
+	RelayDecide bool
+	// MaxRounds aborts an instance after this many rounds (0 = unlimited).
+	// Campaigns with very bad failure-detector QoS use it as a safety
+	// valve; aborted instances are reported, never silently dropped.
+	MaxRounds int
+}
+
+// Engine runs Chandra–Toueg consensus instances for one process. Create it
+// with NewEngine (which registers the message handlers on the stack), then
+// call Propose once per instance.
+type Engine struct {
+	ctx    neko.Context
+	fd     neko.FailureDetector
+	opts   Options
+	maj    int
+	active map[uint64]*Instance
+	// pending buffers messages for instances not yet started locally
+	// (start-time skew between hosts, §4).
+	pending map[uint64][]neko.Message
+}
+
+// NewEngine creates a consensus engine on the stack, querying the given
+// failure detector. It registers handlers for all ct.* message types and
+// subscribes to failure-detector changes.
+func NewEngine(stack *neko.Stack, det neko.FailureDetector, opts Options) *Engine {
+	ctx := stack.Context()
+	e := &Engine{
+		ctx:     ctx,
+		fd:      det,
+		opts:    opts,
+		maj:     ctx.N()/2 + 1,
+		active:  make(map[uint64]*Instance),
+		pending: make(map[uint64][]neko.Message),
+	}
+	stack.Handle(MsgEstimate, e.route)
+	stack.Handle(MsgPropose, e.route)
+	stack.Handle(MsgAck, e.route)
+	stack.Handle(MsgDecide, e.route)
+	det.OnChange(e.onFDChange)
+	return e
+}
+
+// Majority returns the majority threshold ⌈(n+1)/2⌉.
+func (e *Engine) Majority() int { return e.maj }
+
+// Coordinator returns the coordinator of round r (1-based rounds):
+// p_i coordinates rounds k·n + i (§2.1).
+func (e *Engine) Coordinator(r int) neko.ProcessID {
+	n := e.ctx.N()
+	return neko.ProcessID((r-1)%n + 1)
+}
+
+// Propose starts consensus instance cid with initial value val. onDecide
+// is invoked exactly once when the instance decides; onAbort (which may be
+// nil) exactly once if the instance exceeds Options.MaxRounds instead. It
+// returns the running instance.
+func (e *Engine) Propose(cid uint64, val int64, onDecide func(Decision), onAbort func()) *Instance {
+	if _, dup := e.active[cid]; dup {
+		panic(fmt.Sprintf("consensus: instance %d already started at p%d", cid, e.ctx.ID()))
+	}
+	in := &Instance{
+		e:        e,
+		cid:      cid,
+		est:      val,
+		ts:       0,
+		onDecide: onDecide,
+		onAbort:  onAbort,
+		estBuf:   make(map[int][]Estimate),
+		ackBuf:   make(map[int]*ackTally),
+		propBuf:  make(map[int]int64),
+	}
+	e.active[cid] = in
+	in.startRound(1)
+	// Replay messages that arrived before the local start.
+	if buf := e.pending[cid]; buf != nil {
+		delete(e.pending, cid)
+		for _, m := range buf {
+			in.handle(m)
+		}
+	}
+	return in
+}
+
+// Forget discards a finished instance's state (sequential campaigns would
+// otherwise accumulate per-instance buffers).
+func (e *Engine) Forget(cid uint64) {
+	delete(e.active, cid)
+	delete(e.pending, cid)
+}
+
+// route dispatches a ct.* message to its instance, or buffers it if the
+// instance has not started locally yet.
+func (e *Engine) route(m neko.Message) {
+	cid := cidOf(m)
+	if in, ok := e.active[cid]; ok {
+		in.handle(m)
+		return
+	}
+	// Bound the pending buffer: a malformed flood must not exhaust memory.
+	// The bound covers a full instance's worth of traffic (pipelined
+	// sequential instances can run a whole instance ahead of a process).
+	if len(e.pending[cid]) < 8*e.ctx.N() {
+		e.pending[cid] = append(e.pending[cid], m)
+	}
+}
+
+// onFDChange forwards suspicion changes to all active instances.
+func (e *Engine) onFDChange(q neko.ProcessID, suspected bool) {
+	if !suspected {
+		return
+	}
+	for _, in := range e.active {
+		in.onSuspicion(q)
+	}
+}
+
+func cidOf(m neko.Message) uint64 {
+	switch p := m.Payload.(type) {
+	case Estimate:
+		return p.Cid
+	case Propose:
+		return p.Cid
+	case Ack:
+		return p.Cid
+	case Decide:
+		return p.Cid
+	default:
+		panic(fmt.Sprintf("consensus: unexpected payload %T for %s", m.Payload, m.Type))
+	}
+}
+
+// ackTally counts phase-4 replies for one round at its coordinator.
+type ackTally struct {
+	oks, nacks int
+	evaluated  bool
+}
+
+// Instance is one execution of consensus at one process.
+type Instance struct {
+	e        *Engine
+	cid      uint64
+	round    int
+	est      int64
+	ts       int
+	decided  bool
+	decision Decision
+	aborted  bool
+	onDecide func(Decision)
+	onAbort  func()
+
+	waitingProposal bool // participant, phase 3 of e.round
+	// Coordinator-side buffers, keyed by round: estimates received,
+	// replies tallied, and whether the proposal was already issued.
+	estBuf   map[int][]Estimate
+	ackBuf   map[int]*ackTally
+	proposed map[int]bool
+	// propBuf holds proposals received for rounds we have not reached.
+	propBuf map[int]int64
+}
+
+// Decided reports whether the instance has decided, and the decision.
+func (in *Instance) Decided() (Decision, bool) { return in.decision, in.decided }
+
+// Aborted reports whether the instance hit Options.MaxRounds.
+func (in *Instance) Aborted() bool { return in.aborted }
+
+// Round returns the current round number.
+func (in *Instance) Round() int { return in.round }
+
+// startRound enters round r: phase 1 for participants, estimate collection
+// for the coordinator. May recurse (bounded by N) through immediate
+// suspicions of successive coordinators.
+func (in *Instance) startRound(r int) {
+	if in.decided || in.aborted {
+		return
+	}
+	if in.e.opts.MaxRounds > 0 && r > in.e.opts.MaxRounds {
+		in.aborted = true
+		if in.onAbort != nil {
+			in.onAbort()
+		}
+		return
+	}
+	in.round = r
+	in.waitingProposal = false
+	c := in.e.Coordinator(r)
+	if c == in.e.ctx.ID() {
+		// Coordinator: its own estimate counts toward the majority.
+		in.addEstimate(Estimate{Cid: in.cid, Round: r, Val: in.est, TS: in.ts})
+		return
+	}
+	// Participant, phase 1: send the estimate to the coordinator.
+	in.e.ctx.Send(neko.Message{
+		To:      c,
+		Type:    MsgEstimate,
+		Payload: Estimate{Cid: in.cid, Round: r, Val: in.est, TS: in.ts},
+	})
+	// Phase 3: wait for the proposal unless the coordinator is already
+	// suspected (§2.4 class 2: a crashed coordinator is suspected from the
+	// beginning) or its proposal overtook our round start.
+	if v, ok := in.propBuf[r]; ok {
+		delete(in.propBuf, r)
+		in.acceptProposal(r, v, c)
+		return
+	}
+	if in.e.fd.Suspects(c) {
+		in.rejectCoordinator(r, c)
+		return
+	}
+	in.waitingProposal = true
+}
+
+// handle processes one inbound message for this instance.
+func (in *Instance) handle(m neko.Message) {
+	switch p := m.Payload.(type) {
+	case Estimate:
+		in.handleEstimate(p)
+	case Propose:
+		in.handlePropose(p, m.From)
+	case Ack:
+		in.handleAck(p)
+	case Decide:
+		in.deliverDecision(p.Val, 0, true)
+	}
+}
+
+// handleEstimate buffers a phase-1 estimate and, as coordinator of that
+// round, tries to issue the proposal.
+func (in *Instance) handleEstimate(p Estimate) {
+	if in.decided || in.aborted || in.e.Coordinator(p.Round) != in.e.ctx.ID() {
+		return
+	}
+	in.addEstimate(p)
+}
+
+func (in *Instance) addEstimate(p Estimate) {
+	if in.proposedIn(p.Round) {
+		return // proposal already issued; late estimates are irrelevant
+	}
+	in.estBuf[p.Round] = append(in.estBuf[p.Round], p)
+	in.maybePropose(p.Round)
+}
+
+func (in *Instance) proposedIn(r int) bool {
+	return in.proposed != nil && in.proposed[r]
+}
+
+// maybePropose runs phase 2 at the coordinator: with a majority of
+// estimates for the coordinator's *current* round, adopt the one with the
+// largest timestamp and broadcast it.
+func (in *Instance) maybePropose(r int) {
+	if in.round != r || in.proposedIn(r) || len(in.estBuf[r]) < in.e.maj {
+		return
+	}
+	best := in.estBuf[r][0]
+	for _, e := range in.estBuf[r][1:] {
+		if e.TS > best.TS {
+			best = e
+		}
+	}
+	if in.proposed == nil {
+		in.proposed = make(map[int]bool)
+	}
+	in.proposed[r] = true
+	in.est = best.Val
+	in.ts = r
+	delete(in.estBuf, r)
+	// The coordinator's own reply is an implicit positive acknowledgment.
+	in.tally(r).oks++
+	neko.Broadcast(in.e.ctx, neko.Message{
+		Type:    MsgPropose,
+		Payload: Propose{Cid: in.cid, Round: r, Val: best.Val},
+	})
+	in.maybeConclude(r)
+}
+
+// handlePropose runs phase 3 at a participant.
+func (in *Instance) handlePropose(p Propose, from neko.ProcessID) {
+	if in.decided || in.aborted {
+		return
+	}
+	switch {
+	case p.Round == in.round && in.waitingProposal:
+		in.acceptProposal(p.Round, p.Val, from)
+	case p.Round > in.round:
+		// The coordinator of a future round gathered a majority without
+		// us; handle the proposal when we reach that round.
+		in.propBuf[p.Round] = p.Val
+	}
+	// p.Round < in.round: stale — we already nacked and moved on.
+}
+
+// acceptProposal adopts the coordinator's value, acks, and proceeds to the
+// next round (the CT algorithm does not block waiting for the decision —
+// it arrives via the decide broadcast).
+func (in *Instance) acceptProposal(r int, val int64, c neko.ProcessID) {
+	in.waitingProposal = false
+	in.est = val
+	in.ts = r
+	in.e.ctx.Send(neko.Message{
+		To:      c,
+		Type:    MsgAck,
+		Payload: Ack{Cid: in.cid, Round: r, OK: true},
+	})
+	in.startRound(r + 1)
+}
+
+// rejectCoordinator sends a negative acknowledgment for round r and moves
+// on. The nack is sent even to a coordinator suspected from the start —
+// the real implementation cannot know the suspicion is justified, and the
+// message costs real resources (Table 1 depends on this).
+func (in *Instance) rejectCoordinator(r int, c neko.ProcessID) {
+	in.waitingProposal = false
+	in.e.ctx.Send(neko.Message{
+		To:      c,
+		Type:    MsgAck,
+		Payload: Ack{Cid: in.cid, Round: r, OK: false},
+	})
+	in.startRound(r + 1)
+}
+
+// onSuspicion implements the phase-3 escape: a participant waiting for the
+// proposal of a now-suspected coordinator nacks and advances (§2.1).
+func (in *Instance) onSuspicion(q neko.ProcessID) {
+	if in.decided || in.aborted || !in.waitingProposal {
+		return
+	}
+	if q != in.e.Coordinator(in.round) {
+		return
+	}
+	in.rejectCoordinator(in.round, q)
+}
+
+// handleAck runs phase 4 at the coordinator of round p.Round.
+func (in *Instance) handleAck(p Ack) {
+	if in.decided || in.aborted || in.e.Coordinator(p.Round) != in.e.ctx.ID() {
+		return
+	}
+	t := in.tally(p.Round)
+	if t.evaluated {
+		return
+	}
+	if p.OK {
+		t.oks++
+	} else {
+		t.nacks++
+	}
+	in.maybeConclude(p.Round)
+}
+
+func (in *Instance) tally(r int) *ackTally {
+	t := in.ackBuf[r]
+	if t == nil {
+		t = &ackTally{}
+		in.ackBuf[r] = t
+	}
+	return t
+}
+
+// maybeConclude evaluates phase 4 once a majority of replies is in: all
+// positive → decide and broadcast; any negative → next round.
+func (in *Instance) maybeConclude(r int) {
+	t := in.tally(r)
+	if t.evaluated || t.oks+t.nacks < in.e.maj {
+		return
+	}
+	t.evaluated = true
+	if t.nacks == 0 {
+		neko.Broadcast(in.e.ctx, neko.Message{
+			Type:    MsgDecide,
+			Payload: Decide{Cid: in.cid, Val: in.est},
+		})
+		in.deliverDecision(in.est, r, false)
+		return
+	}
+	// At least one negative acknowledgment: the round failed. The
+	// coordinator is still in round r (it never waits for its own
+	// proposal), so advance from there.
+	if in.round == r {
+		in.startRound(r + 1)
+	}
+}
+
+// deliverDecision finalizes the instance. relayed marks decisions learned
+// from the decide broadcast rather than concluded locally; round 0 means
+// "the local current round" (the wire Decide payload stays minimal — the
+// paper's messages are ~100 bytes, §2.5).
+func (in *Instance) deliverDecision(val int64, round int, relayed bool) {
+	if in.decided || in.aborted {
+		return
+	}
+	in.decided = true
+	if round == 0 {
+		round = in.round
+	}
+	in.decision = Decision{Cid: in.cid, Val: val, At: in.e.ctx.Now(), Round: round}
+	if relayed && in.e.opts.RelayDecide {
+		neko.Broadcast(in.e.ctx, neko.Message{
+			Type:    MsgDecide,
+			Payload: Decide{Cid: in.cid, Val: val},
+		})
+	}
+	if in.onDecide != nil {
+		in.onDecide(in.decision)
+	}
+}

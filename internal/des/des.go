@@ -1,0 +1,158 @@
+// Package des is a minimal discrete-event simulation kernel: a virtual
+// clock and a cancellable binary-heap event queue. Both the cluster
+// emulator (internal/netsim) and the SAN solver (internal/san) are built
+// on it.
+//
+// Time is a float64 number of milliseconds, matching the unit used
+// throughout the paper. Events scheduled at equal times fire in FIFO order
+// of scheduling, which keeps simulations deterministic.
+package des
+
+import "container/heap"
+
+// Event is a scheduled callback. The zero Handle is invalid.
+type event struct {
+	time   float64
+	seq    uint64 // tie-breaker: FIFO among equal times
+	fn     func()
+	index  int // heap index, -1 when popped/cancelled
+	cancel bool
+}
+
+// Handle identifies a scheduled event so it can be cancelled.
+type Handle struct {
+	ev *event
+}
+
+// Valid reports whether the handle refers to a scheduled (not yet fired,
+// not cancelled) event.
+func (h Handle) Valid() bool { return h.ev != nil && h.ev.index >= 0 && !h.ev.cancel }
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Sim is a discrete-event simulator. The zero value is ready to use.
+// Sim is not safe for concurrent use.
+type Sim struct {
+	now    float64
+	seq    uint64
+	queue  eventHeap
+	nsteps uint64
+}
+
+// Now returns the current virtual time in milliseconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// Steps returns the number of events executed so far.
+func (s *Sim) Steps() uint64 { return s.nsteps }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a model bug.
+func (s *Sim) At(t float64, fn func()) Handle {
+	if t < s.now {
+		panic("des: scheduling event in the past")
+	}
+	ev := &event{time: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return Handle{ev: ev}
+}
+
+// After schedules fn to run d milliseconds from now.
+func (s *Sim) After(d float64, fn func()) Handle {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Cancel prevents a scheduled event from firing. Cancelling an already
+// fired or cancelled event is a no-op.
+func (s *Sim) Cancel(h Handle) {
+	if h.ev == nil || h.ev.cancel {
+		return
+	}
+	h.ev.cancel = true
+	if h.ev.index >= 0 {
+		heap.Remove(&s.queue, h.ev.index)
+	}
+}
+
+// Empty reports whether no events remain.
+func (s *Sim) Empty() bool { return len(s.queue) == 0 }
+
+// PeekTime returns the time of the next event, or ok=false if none.
+func (s *Sim) PeekTime() (t float64, ok bool) {
+	if len(s.queue) == 0 {
+		return 0, false
+	}
+	return s.queue[0].time, true
+}
+
+// Step executes the next event. It reports whether an event was executed.
+func (s *Sim) Step() bool {
+	for len(s.queue) > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.cancel {
+			continue
+		}
+		s.now = ev.time
+		s.nsteps++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or until stop returns true
+// (checked after each event). A nil stop runs to exhaustion. It returns the
+// final virtual time.
+func (s *Sim) Run(stop func() bool) float64 {
+	for s.Step() {
+		if stop != nil && stop() {
+			break
+		}
+	}
+	return s.now
+}
+
+// RunUntil executes events with time <= tmax. Events beyond tmax remain
+// queued; the clock is advanced to tmax if the run was truncated.
+func (s *Sim) RunUntil(tmax float64) {
+	for {
+		t, ok := s.PeekTime()
+		if !ok || t > tmax {
+			break
+		}
+		s.Step()
+	}
+	if s.now < tmax {
+		s.now = tmax
+	}
+}

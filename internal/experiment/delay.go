@@ -1,0 +1,132 @@
+package experiment
+
+import (
+	"fmt"
+
+	"ctsan/internal/neko"
+	"ctsan/internal/netsim"
+	"ctsan/internal/rng"
+)
+
+// DelaySpec configures an end-to-end delay measurement (§5.1, Fig. 6): a
+// sender transmits Count probe messages — unicast to process 2, or
+// broadcast to all — spaced by Spacing ms, and the delay from the Send
+// call to delivery at each destination is recorded.
+type DelaySpec struct {
+	N         int
+	Broadcast bool
+	Count     int
+	Spacing   float64 // ms between probes; 0 = 1.0
+	Params    netsim.Params
+	Seed      uint64
+}
+
+// probeProto emits the probes.
+type probeProto struct {
+	ctx     neko.Context
+	spec    DelaySpec
+	sent    int
+	sendAt  map[int]float64 // probe seq -> global send time (clock offset excluded by construction below)
+	started bool
+}
+
+const msgProbe = "probe"
+
+// probePayload identifies a probe.
+type probePayload struct{ Seq int }
+
+// Start implements neko.Protocol.
+func (p *probeProto) Start() {
+	p.started = true
+	p.emit()
+}
+
+func (p *probeProto) emit() {
+	if p.sent >= p.spec.Count {
+		return
+	}
+	seq := p.sent
+	p.sent++
+	p.sendAt[seq] = p.ctx.Now()
+	if p.spec.Broadcast {
+		neko.Broadcast(p.ctx, neko.Message{Type: msgProbe, Payload: probePayload{Seq: seq}})
+	} else {
+		p.ctx.Send(neko.Message{To: 2, Type: msgProbe, Payload: probePayload{Seq: seq}})
+	}
+	p.ctx.SetTimer(p.spec.Spacing, p.emit)
+}
+
+// MeasureDelays runs the probe experiment and returns one delay sample per
+// probe: for unicast, the end-to-end delay; for broadcast, the delay
+// "averaged over the destinations" as in Fig. 6.
+func MeasureDelays(spec DelaySpec) ([]float64, error) {
+	if spec.N < 2 {
+		return nil, fmt.Errorf("experiment: delay measurement needs n >= 2")
+	}
+	if spec.Count < 1 {
+		return nil, fmt.Errorf("experiment: delay measurement needs at least 1 probe")
+	}
+	if spec.Spacing == 0 {
+		spec.Spacing = 1.0
+	}
+	if spec.Params.N == 0 {
+		spec.Params = netsim.DefaultParams(spec.N)
+	}
+	spec.Params.N = spec.N
+	// Timer lateness would contaminate the probe spacing, not the per-probe
+	// delay; keep the cluster defaults so contention is realistic.
+	root := rng.New(spec.Seed ^ 0xde1a7)
+	cluster, err := netsim.New(spec.Params, root.Child(1))
+	if err != nil {
+		return nil, err
+	}
+	sender := &probeProto{spec: spec, sendAt: make(map[int]float64)}
+	sumDelay := make(map[int]float64)
+	gotCount := make(map[int]int)
+	for i := 1; i <= spec.N; i++ {
+		id := neko.ProcessID(i)
+		stack := neko.NewStack(cluster.Context(id))
+		if i == 1 {
+			sender.ctx = stack.Context()
+			stack.AddLayer(sender)
+		}
+		stack.Handle(msgProbe, func(neko.Message) {})
+		cluster.Attach(id, stack)
+	}
+	// sendAt holds sender-local times while the delivery trace reports
+	// global times; senderOffset (local − global) reconciles the clocks so
+	// the measured delay is skew-free, like the paper's NTP-disciplined
+	// round-trip measurements.
+	senderOffset := 0.0
+	cluster.Trace(func(m neko.Message, at float64) {
+		if m.Type != msgProbe {
+			return
+		}
+		seq := m.Payload.(probePayload).Seq
+		sumDelay[seq] += at + senderOffset - sender.sendAt[seq]
+		gotCount[seq]++
+	})
+	// The sender's local clock offset equals Now(local) - Now(global) at
+	// any instant; compute it before starting.
+	senderOffset = cluster.Context(1).Now() - cluster.Now()
+	cluster.Start()
+	// The probe timer chain suffers scheduler lateness (grid deferrals can
+	// add several ms per wake-up); budget generously so every probe fires.
+	deadline := float64(spec.Count)*(spec.Spacing+8) + 100
+	cluster.RunUntil(deadline)
+
+	want := 1
+	if spec.Broadcast {
+		want = spec.N - 1
+	}
+	var out []float64
+	for seq := 0; seq < spec.Count; seq++ {
+		if gotCount[seq] == want {
+			out = append(out, sumDelay[seq]/float64(want))
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("experiment: no probes delivered")
+	}
+	return out, nil
+}

@@ -1,0 +1,330 @@
+// Package experiment drives measurement campaigns on the emulated cluster
+// (internal/netsim), mirroring the methodology of §4–§5 of the paper:
+//
+//   - latency campaigns: sequential consensus executions whose beginnings
+//     are separated by ≥10 ms so that executions do not interfere (§4),
+//     each started "at the same time t_0" on every process subject to the
+//     ±50 µs clock synchronization;
+//   - the three classes of runs of §2.4: (1) no crashes and accurate
+//     failure detectors, (2) one initial crash with a complete and
+//     accurate failure detector, (3) no crashes but a real heartbeat
+//     failure detector that makes mistakes;
+//   - failure-detector QoS campaigns: the heartbeat detector's transitions
+//     are recorded over the full experiment duration (multiple consensus
+//     executions, §4) and reduced to the Chen et al. metrics;
+//   - end-to-end delay measurements used to parameterize the SAN model
+//     (§5.1, Fig. 6).
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"ctsan/internal/consensus"
+	"ctsan/internal/fd"
+	"ctsan/internal/neko"
+	"ctsan/internal/netsim"
+	"ctsan/internal/rng"
+	"ctsan/internal/stats"
+)
+
+// FDMode selects the failure-detector configuration of a campaign.
+type FDMode int
+
+const (
+	// FDOracle is a perfect detector: class-1 runs suspect nobody;
+	// class-2 runs suspect exactly the crashed processes.
+	FDOracle FDMode = iota + 1
+	// FDHeartbeat runs the real push heartbeat detector of §2.2.
+	FDHeartbeat
+)
+
+// LatencySpec configures a latency campaign.
+type LatencySpec struct {
+	N          int
+	Params     netsim.Params // zero value: netsim defaults for N
+	Executions int           // consensus executions (paper: 5000 class 1/2, 1000 class 3)
+	Gap        float64       // separation between execution starts, ms (paper: 10)
+	Warmup     float64       // time before the first execution, ms
+	FDMode     FDMode        // zero value: FDOracle
+	TimeoutT   float64       // heartbeat timeout T (FDHeartbeat)
+	PeriodTh   float64       // heartbeat period T_h; 0 means 0.7·T (§5.4)
+	Crashed    []neko.ProcessID
+	MaxRounds  int     // per-execution abort threshold; 0 = 256
+	Deadline   float64 // per-execution wall deadline, ms; 0 = 500
+	Seed       uint64
+}
+
+// LatencyResult aggregates a latency campaign.
+type LatencyResult struct {
+	Latencies []float64 // first-decision latency per completed execution, ms
+	Rounds    []int     // deciding round per completed execution
+	Acc       stats.Accumulator
+	Aborted   int     // executions where no process decided (MaxRounds/deadline)
+	Texp      float64 // total experiment duration (global ms), QoS denominator
+	QoS       fd.QoS  // valid for FDHeartbeat campaigns
+	History   *fd.History
+	Events    uint64 // DES events executed (cost metric)
+}
+
+// ECDF returns the empirical CDF of the latencies.
+func (r *LatencyResult) ECDF() *stats.ECDF { return stats.NewECDF(r.Latencies) }
+
+// MeanRounds returns the average deciding round.
+func (r *LatencyResult) MeanRounds() float64 {
+	if len(r.Rounds) == 0 {
+		return math.NaN()
+	}
+	s := 0
+	for _, v := range r.Rounds {
+		s += v
+	}
+	return float64(s) / float64(len(r.Rounds))
+}
+
+// validate applies defaults and sanity-checks the spec.
+func (s *LatencySpec) validate() error {
+	if s.N < 2 {
+		return fmt.Errorf("experiment: need n >= 2, got %d", s.N)
+	}
+	if s.Executions < 1 {
+		return fmt.Errorf("experiment: need at least 1 execution")
+	}
+	if len(s.Crashed) >= (s.N+1)/2 {
+		return fmt.Errorf("experiment: %d crashes violate the majority-correct requirement for n=%d", len(s.Crashed), s.N)
+	}
+	if s.Gap == 0 {
+		s.Gap = 10
+	}
+	if s.Warmup == 0 {
+		s.Warmup = 20
+	}
+	if s.MaxRounds == 0 {
+		s.MaxRounds = 256
+	}
+	if s.Deadline == 0 {
+		s.Deadline = 500
+	}
+	if s.FDMode == 0 {
+		s.FDMode = FDOracle
+	}
+	if s.FDMode == FDHeartbeat {
+		if s.TimeoutT <= 0 {
+			return fmt.Errorf("experiment: heartbeat campaign needs TimeoutT > 0")
+		}
+		if s.PeriodTh == 0 {
+			s.PeriodTh = 0.7 * s.TimeoutT
+		}
+	}
+	if s.Params.N == 0 {
+		s.Params = netsim.DefaultParams(s.N)
+	}
+	s.Params.N = s.N
+	s.Params.Crashed = s.Crashed
+	return nil
+}
+
+// campaign is the run-time state of RunLatency.
+type campaign struct {
+	spec    LatencySpec
+	cluster *netsim.Cluster
+	engines []*consensus.Engine
+	crashed map[neko.ProcessID]bool
+	res     *LatencyResult
+	correct int
+	// execOrder records which execution index produced each entry of
+	// res.Latencies (watchdogged executions leave gaps).
+	execOrder []int
+
+	// Current execution state.
+	running  bool
+	execIdx  int
+	execT0   float64
+	closed   bool
+	finished int // processes that decided or aborted in the current execution
+	decided  bool
+	firstAt  float64
+	round    int
+	val      int64
+	err      error
+}
+
+// RunLatency executes a latency campaign and returns its results.
+func RunLatency(spec LatencySpec) (*LatencyResult, error) {
+	c, err := runCampaign(spec, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.res, nil
+}
+
+// runCampaign is the campaign core. hook (may be nil) runs after the
+// cluster is built and started, before the first execution — used by the
+// crash-transient experiment to inject mid-run crashes.
+func runCampaign(spec LatencySpec, hook func(*campaign)) (*campaign, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	root := rng.New(spec.Seed ^ 0x5eedc0de)
+	cluster, err := netsim.New(spec.Params, root.Child(1))
+	if err != nil {
+		return nil, err
+	}
+	c := &campaign{
+		spec:    spec,
+		cluster: cluster,
+		engines: make([]*consensus.Engine, spec.N+1),
+		crashed: make(map[neko.ProcessID]bool, len(spec.Crashed)),
+		res:     &LatencyResult{History: &fd.History{}},
+	}
+	for _, id := range spec.Crashed {
+		c.crashed[id] = true
+	}
+	c.correct = spec.N - len(spec.Crashed)
+
+	var heartbeats []*fd.Heartbeat
+	for i := 1; i <= spec.N; i++ {
+		id := neko.ProcessID(i)
+		stack := neko.NewStack(cluster.Context(id))
+		var det neko.FailureDetector
+		switch spec.FDMode {
+		case FDOracle:
+			det = fd.NewOracle(spec.Crashed...)
+		case FDHeartbeat:
+			hb := fd.NewHeartbeat(stack, spec.TimeoutT, spec.PeriodTh, c.res.History)
+			heartbeats = append(heartbeats, hb)
+			det = hb
+		default:
+			return nil, fmt.Errorf("experiment: unknown FD mode %d", spec.FDMode)
+		}
+		c.engines[i] = consensus.NewEngine(stack, det, consensus.Options{MaxRounds: spec.MaxRounds})
+		cluster.Attach(id, stack)
+	}
+	cluster.Start()
+	if hook != nil {
+		hook(c)
+	}
+	c.startExec(0, spec.Warmup)
+	cluster.Run(func() bool { return !c.running || c.err != nil })
+	if c.err != nil {
+		return nil, c.err
+	}
+
+	c.res.Texp = cluster.Now()
+	c.res.Events = cluster.Steps()
+	for _, hb := range heartbeats {
+		hb.Stop()
+	}
+	if spec.FDMode == FDHeartbeat {
+		c.res.QoS = fd.EstimateQoS(c.res.History, c.res.Texp, spec.N)
+	}
+	return c, nil
+}
+
+// startExec launches execution k at local time t0 on every correct process.
+func (c *campaign) startExec(k int, t0 float64) {
+	c.running = true
+	c.execIdx = k
+	c.execT0 = t0
+	c.closed = false
+	c.finished = 0
+	c.decided = false
+	c.firstAt = math.Inf(1)
+	c.round = 0
+	c.val = 0
+	for i := 1; i <= c.spec.N; i++ {
+		id := neko.ProcessID(i)
+		if c.crashed[id] {
+			continue
+		}
+		i := i
+		c.cluster.StartAt(id, t0, func() {
+			if c.closed {
+				return // execution force-closed before this process started
+			}
+			c.engines[i].Propose(uint64(k), int64(i),
+				func(d consensus.Decision) { c.onDecision(k, d) },
+				func() { c.onProcessDone(k) },
+			)
+		})
+	}
+	// Watchdog: executions with catastrophic failure detection, or with a
+	// process crashing mid-campaign, must not hang the campaign (cf. the
+	// paper's footnote 2 on increasing the separation when latencies
+	// exceeded the 10 ms gap). Scheduled globally so that no crash can
+	// silence it; stale watchdogs are ignored via execIdx.
+	c.cluster.AtGlobal(t0+c.spec.Deadline, func() { c.closeExec(k) })
+}
+
+// onDecision records a decision event of execution k. Decisions of an
+// execution already force-closed by the watchdog are ignored.
+func (c *campaign) onDecision(k int, d consensus.Decision) {
+	if c.closed || k != c.execIdx {
+		return
+	}
+	if !c.decided {
+		c.decided = true
+		c.firstAt = d.At
+		c.round = d.Round
+		c.val = d.Val
+	} else {
+		if d.Val != c.val {
+			c.err = fmt.Errorf("experiment: agreement violated in execution %d: decisions %d and %d", k, c.val, d.Val)
+			return
+		}
+		if d.At < c.firstAt {
+			c.firstAt = d.At
+			c.round = d.Round
+		}
+	}
+	if v := d.Val; v < 1 || int(v) > c.spec.N || c.crashed[neko.ProcessID(v)] {
+		c.err = fmt.Errorf("experiment: validity violated in execution %d: decided %d", k, d.Val)
+		return
+	}
+	c.onProcessDone(k)
+}
+
+// onProcessDone counts a process having finished (decided or aborted) the
+// execution; when all correct processes are done, the execution closes.
+func (c *campaign) onProcessDone(k int) {
+	if c.closed || k != c.execIdx {
+		return
+	}
+	c.finished++
+	if c.finished >= c.correct {
+		c.closeExec(k)
+	}
+}
+
+// closeExec finalizes execution k (normally or via watchdog) and schedules
+// the next one. Stale calls (watchdogs of already-closed executions) are
+// ignored.
+func (c *campaign) closeExec(k int) {
+	if c.closed || k != c.execIdx {
+		return
+	}
+	c.closed = true
+	if c.decided {
+		lat := c.firstAt - c.execT0
+		c.res.Latencies = append(c.res.Latencies, lat)
+		c.res.Rounds = append(c.res.Rounds, c.round)
+		c.res.Acc.Add(lat)
+		c.execOrder = append(c.execOrder, k)
+	} else {
+		c.res.Aborted++
+	}
+	for i := 1; i <= c.spec.N; i++ {
+		if c.engines[i] != nil {
+			c.engines[i].Forget(uint64(k))
+		}
+	}
+	if k+1 >= c.spec.Executions {
+		c.running = false
+		return
+	}
+	next := c.execT0 + c.spec.Gap
+	if now := c.cluster.Now(); now+2 > next {
+		next = now + 2
+	}
+	c.startExec(k+1, next)
+}

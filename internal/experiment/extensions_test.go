@@ -1,0 +1,122 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"ctsan/internal/neko"
+)
+
+func TestThroughputValidation(t *testing.T) {
+	if _, err := RunThroughput(ThroughputSpec{N: 1, Executions: 10}); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := RunThroughput(ThroughputSpec{N: 3, Executions: 0}); err == nil {
+		t.Error("0 executions accepted")
+	}
+	if _, err := RunThroughput(ThroughputSpec{N: 3, Executions: 5, Warmup: 5}); err == nil {
+		t.Error("warmup >= executions accepted")
+	}
+	if _, err := RunThroughput(ThroughputSpec{N: 3, Executions: 5, FDMode: FDHeartbeat}); err == nil {
+		t.Error("heartbeat mode without timeout accepted")
+	}
+}
+
+func TestThroughputChainedInstances(t *testing.T) {
+	res, err := RunThroughput(ThroughputSpec{N: 3, Executions: 120, Warmup: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decided != 120 {
+		t.Fatalf("decided %d/120", res.Decided)
+	}
+	if res.Aborted != 0 {
+		t.Fatalf("aborted %d", res.Aborted)
+	}
+	if res.Rate <= 0 {
+		t.Fatal("non-positive throughput")
+	}
+	// Chained consensus must beat the 10 ms-gap latency campaign's rate
+	// (100/s) and stay below the physical bound of one instance per
+	// end-to-end delay.
+	if res.Rate < 150 || res.Rate > 20000 {
+		t.Fatalf("rate %.0f/s implausible", res.Rate)
+	}
+}
+
+func TestThroughputResourceBound(t *testing.T) {
+	// §6 extension finding: the sustained inter-decision gap is governed
+	// by the *total* per-instance resource footprint — every instance
+	// pushes ~4(n−1) messages through the shared medium — not by the
+	// decision latency, which ignores trailing acks and decides. The gap
+	// therefore sits above the isolated latency but far below the 10 ms
+	// isolation gap of the latency campaigns.
+	lat, err := RunLatency(LatencySpec{N: 5, Executions: 200, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr, err := RunThroughput(ThroughputSpec{N: 5, Executions: 200, Warmup: 40, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap := thr.InterDecision.Mean()
+	if gap <= lat.Acc.Mean()*0.9 {
+		t.Fatalf("inter-decision gap %.3f ms below isolated latency %.3f ms: trailing traffic not accounted", gap, lat.Acc.Mean())
+	}
+	if gap >= 5*lat.Acc.Mean() {
+		t.Fatalf("inter-decision gap %.3f ms implausibly above isolated latency %.3f ms", gap, lat.Acc.Mean())
+	}
+	if thr.Rate < 1000/(5*lat.Acc.Mean()) {
+		t.Fatalf("rate %.0f/s below the resource bound", thr.Rate)
+	}
+}
+
+func TestThroughputWithCrash(t *testing.T) {
+	res, err := RunThroughput(ThroughputSpec{
+		N: 5, Executions: 80, Warmup: 10, Seed: 5,
+		Crashed: []neko.ProcessID{2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decided != 80 {
+		t.Fatalf("decided %d/80 with a crashed participant", res.Decided)
+	}
+}
+
+func TestCrashTransient(t *testing.T) {
+	res, err := RunCrashTransient(CrashTransientSpec{
+		N: 5, CrashID: 1, CrashAfter: 10, Executions: 40, TimeoutT: 20, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.SteadyBefore) || math.IsNaN(res.SteadyAfter) {
+		t.Fatal("missing steady-state phases")
+	}
+	// Before the crash: one-round latency. The executions hitting the
+	// undetected-crash window must show the detection transient.
+	if res.PeakDuring < res.SteadyBefore {
+		t.Fatalf("no transient peak: before %.3f, during %.3f", res.SteadyBefore, res.PeakDuring)
+	}
+	// After detection, the first coordinator is permanently suspected:
+	// every execution pays the two-round (round-2 coordinator) path, so
+	// the steady state stays above... actually round 1 collapses cheaply
+	// via the standing suspicion; require only that the system recovered
+	// to something finite and roughly steady.
+	if res.SteadyAfter > res.PeakDuring {
+		t.Fatalf("post-crash steady state %.3f above the transient peak %.3f", res.SteadyAfter, res.PeakDuring)
+	}
+	if res.DetectionTime <= 0 || res.DetectionTime > 3*20+60 {
+		t.Fatalf("detection time %.2f ms implausible for T=20", res.DetectionTime)
+	}
+}
+
+func TestCrashTransientValidation(t *testing.T) {
+	if _, err := RunCrashTransient(CrashTransientSpec{N: 3, CrashID: 1, CrashAfter: 10, Executions: 5, TimeoutT: 10}); err == nil {
+		t.Error("crash point beyond campaign accepted")
+	}
+	if _, err := RunCrashTransient(CrashTransientSpec{N: 3, CrashID: 9, CrashAfter: 1, Executions: 5, TimeoutT: 10}); err == nil {
+		t.Error("bad crash id accepted")
+	}
+}

@@ -1,0 +1,45 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAsciiPlot(t *testing.T) {
+	fig := &Figure{
+		ID:    "TEST",
+		Title: "t",
+		Series: []Series{
+			{Label: "a", X: []float64{1, 10, 100}, Y: []float64{100, 10, 1}},
+			{Label: "b", X: []float64{1, 10, 100}, Y: []float64{1, 1, 1}},
+		},
+	}
+	var buf bytes.Buffer
+	AsciiPlot(&buf, fig, 40, 10, true, true)
+	out := buf.String()
+	for _, want := range []string{"TEST", "o = a", "x = b"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "o") < 3 {
+		t.Errorf("series a points missing:\n%s", out)
+	}
+	// Log axes must silently drop non-positive values.
+	figBad := &Figure{ID: "B", Series: []Series{{Label: "z", X: []float64{0}, Y: []float64{-1}}}}
+	buf.Reset()
+	AsciiPlot(&buf, figBad, 40, 10, true, true)
+	if !strings.Contains(buf.String(), "no plottable") {
+		t.Errorf("expected empty-plot notice, got:\n%s", buf.String())
+	}
+}
+
+func TestAsciiPlotLinear(t *testing.T) {
+	fig := &Figure{ID: "L", Series: []Series{{Label: "s", X: []float64{0, 1, 2}, Y: []float64{0, 0.5, 1}}}}
+	var buf bytes.Buffer
+	AsciiPlot(&buf, fig, 30, 8, false, false)
+	if !strings.Contains(buf.String(), "o") {
+		t.Errorf("no points plotted:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,79 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Series is one labeled curve of a figure.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// Figure is a reproduced paper figure rendered as aligned text columns
+// (x, then one column per series).
+type Figure struct {
+	ID, Title      string
+	XLabel, YLabel string
+	Series         []Series
+	Notes          []string
+}
+
+// Fprint renders the figure. Series are printed as blocks of x/y pairs so
+// curves with different supports stay readable.
+func (f *Figure) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "# %s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(w, "# x: %s, y: %s\n", f.XLabel, f.YLabel)
+	for _, n := range f.Notes {
+		fmt.Fprintf(w, "# note: %s\n", n)
+	}
+	for _, s := range f.Series {
+		fmt.Fprintf(w, "## series: %s\n", s.Label)
+		for i := range s.X {
+			fmt.Fprintf(w, "%-12.6g %.6g\n", s.X[i], s.Y[i])
+		}
+	}
+}
+
+// Table is a reproduced paper table.
+type Table struct {
+	ID, Title string
+	Header    []string
+	Rows      [][]string
+	Notes     []string
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "# %s — %s\n", t.ID, t.Title)
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "# note: %s\n", n)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	fmt.Fprintln(w, line(t.Header))
+	for _, r := range t.Rows {
+		fmt.Fprintln(w, line(r))
+	}
+}

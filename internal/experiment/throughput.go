@@ -1,0 +1,167 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"ctsan/internal/consensus"
+	"ctsan/internal/fd"
+	"ctsan/internal/neko"
+	"ctsan/internal/netsim"
+	"ctsan/internal/rng"
+	"ctsan/internal/stats"
+)
+
+// ThroughputSpec configures a throughput campaign — the paper's stated
+// future work (§2.3/§6): "Throughput should be considered in a scenario
+// where a sequence of consensus is executed, i.e., on each process,
+// consensus #(k+1) starts immediately after consensus #k has decided.
+// Note that, unlike in the definition of latency, not all processes
+// necessarily start consensus at the same time."
+type ThroughputSpec struct {
+	N          int
+	Params     netsim.Params
+	Executions int     // chained consensus instances
+	Warmup     int     // leading instances excluded from the rate
+	FDMode     FDMode  // zero value: FDOracle
+	TimeoutT   float64 // FDHeartbeat
+	PeriodTh   float64
+	Crashed    []neko.ProcessID
+	MaxRounds  int
+	Seed       uint64
+}
+
+// ThroughputResult reports the sustained decision rate.
+type ThroughputResult struct {
+	// Rate is decided instances per second of cluster time (counted over
+	// the post-warmup window).
+	Rate float64
+	// InterDecision accumulates the gaps between consecutive first
+	// decisions (ms).
+	InterDecision stats.Accumulator
+	Decided       int
+	Aborted       int
+	Duration      float64 // ms of cluster time in the measured window
+	Events        uint64
+}
+
+// RunThroughput chains consensus executions back to back on each process:
+// process p proposes instance k+1 the moment it finishes instance k. This
+// pipelines rounds across instances (unlike the isolated executions of the
+// latency campaigns) and saturates the coordinator and the medium.
+func RunThroughput(spec ThroughputSpec) (*ThroughputResult, error) {
+	if spec.N < 2 {
+		return nil, fmt.Errorf("experiment: throughput needs n >= 2")
+	}
+	if spec.Executions < 1 {
+		return nil, fmt.Errorf("experiment: throughput needs at least 1 execution")
+	}
+	if spec.Warmup >= spec.Executions {
+		return nil, fmt.Errorf("experiment: warmup %d must be below executions %d", spec.Warmup, spec.Executions)
+	}
+	if spec.MaxRounds == 0 {
+		spec.MaxRounds = 256
+	}
+	if spec.FDMode == 0 {
+		spec.FDMode = FDOracle
+	}
+	if spec.FDMode == FDHeartbeat {
+		if spec.TimeoutT <= 0 {
+			return nil, fmt.Errorf("experiment: heartbeat throughput needs TimeoutT > 0")
+		}
+		if spec.PeriodTh == 0 {
+			spec.PeriodTh = 0.7 * spec.TimeoutT
+		}
+	}
+	if spec.Params.N == 0 {
+		spec.Params = netsim.DefaultParams(spec.N)
+	}
+	spec.Params.N = spec.N
+	spec.Params.Crashed = spec.Crashed
+
+	root := rng.New(spec.Seed ^ 0x7a709)
+	cluster, err := netsim.New(spec.Params, root.Child(1))
+	if err != nil {
+		return nil, err
+	}
+	crashed := make(map[neko.ProcessID]bool, len(spec.Crashed))
+	for _, id := range spec.Crashed {
+		crashed[id] = true
+	}
+
+	res := &ThroughputResult{}
+	var (
+		firstDecided = make(map[uint64]float64) // instance -> first decision (global ms)
+		engines      = make([]*consensus.Engine, spec.N+1)
+	)
+	for i := 1; i <= spec.N; i++ {
+		id := neko.ProcessID(i)
+		stack := neko.NewStack(cluster.Context(id))
+		var det neko.FailureDetector
+		if spec.FDMode == FDHeartbeat {
+			det = fd.NewHeartbeat(stack, spec.TimeoutT, spec.PeriodTh, nil)
+		} else {
+			det = fd.NewOracle(spec.Crashed...)
+		}
+		engines[i] = consensus.NewEngine(stack, det, consensus.Options{MaxRounds: spec.MaxRounds})
+		cluster.Attach(id, stack)
+	}
+	cluster.Start()
+
+	remaining := spec.N - len(spec.Crashed)
+	finished := 0
+	var chain func(i int, k uint64)
+	chain = func(i int, k uint64) {
+		if k >= uint64(spec.Executions) {
+			finished++
+			return
+		}
+		engines[i].Propose(k, int64(i)+int64(k)*100, func(d consensus.Decision) {
+			if _, seen := firstDecided[k]; !seen {
+				firstDecided[k] = cluster.Now()
+				res.Decided++
+			}
+			engines[i].Forget(k)
+			chain(i, k+1) // #(k+1) starts immediately after #k decides
+		}, func() {
+			res.Aborted++
+			engines[i].Forget(k)
+			chain(i, k+1)
+		})
+	}
+	for i := 1; i <= spec.N; i++ {
+		if crashed[neko.ProcessID(i)] {
+			continue
+		}
+		i := i
+		cluster.StartAt(neko.ProcessID(i), 1.0, func() { chain(i, 0) })
+	}
+	cluster.Run(func() bool { return finished >= remaining })
+	res.Events = cluster.Steps()
+
+	// Sustained rate over the post-warmup window.
+	var prev float64
+	started := false
+	for k := uint64(spec.Warmup); k < uint64(spec.Executions); k++ {
+		at, ok := firstDecided[k]
+		if !ok {
+			continue
+		}
+		if started {
+			res.InterDecision.Add(at - prev)
+		}
+		prev = at
+		started = true
+		res.Duration = at
+	}
+	if n := res.InterDecision.N(); n > 0 {
+		window := res.InterDecision.Mean() * float64(n)
+		if window > 0 {
+			res.Rate = 1000 * float64(n) / window
+		}
+	}
+	if math.IsNaN(res.Rate) {
+		res.Rate = 0
+	}
+	return res, nil
+}

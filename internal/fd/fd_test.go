@@ -1,0 +1,234 @@
+package fd
+
+import (
+	"math"
+	"testing"
+
+	"ctsan/internal/dist"
+	"ctsan/internal/neko"
+	"ctsan/internal/netsim"
+	"ctsan/internal/rng"
+)
+
+// quietParams returns a 2-host cluster configuration with no scheduler
+// noise, so failure-detector behaviour is exactly predictable.
+func quietParams(n int) netsim.Params {
+	return netsim.Params{
+		N:            n,
+		TSend:        dist.Det(0.01),
+		TReceive:     dist.Det(0.01),
+		TWire:        dist.Det(0.01),
+		Tail:         dist.Det(0),
+		GridProb:     0,
+		ThreadJitter: dist.Det(0),
+		KernelLate:   dist.Det(0),
+		WakeTail:     dist.Det(0),
+		ClockSkew:    dist.Det(0),
+	}
+}
+
+// buildFDCluster wires heartbeat detectors on every process.
+func buildFDCluster(t *testing.T, params netsim.Params, timeout, period float64) (*netsim.Cluster, []*Heartbeat, *History) {
+	t.Helper()
+	c, err := netsim.New(params, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := &History{}
+	var hbs []*Heartbeat
+	for i := 1; i <= params.N; i++ {
+		stack := neko.NewStack(c.Context(neko.ProcessID(i)))
+		hbs = append(hbs, NewHeartbeat(stack, timeout, period, hist))
+		c.Attach(neko.ProcessID(i), stack)
+	}
+	c.Start()
+	return c, hbs, hist
+}
+
+func TestNoSuspicionsInQuietCluster(t *testing.T) {
+	c, hbs, hist := buildFDCluster(t, quietParams(3), 10, 7)
+	c.RunUntil(500)
+	if hist.Len() != 0 {
+		t.Fatalf("quiet cluster produced %d FD transitions", hist.Len())
+	}
+	for _, hb := range hbs {
+		for q := neko.ProcessID(1); q <= 3; q++ {
+			if hb.Suspects(q) {
+				t.Fatalf("spurious suspicion of p%d", q)
+			}
+		}
+	}
+}
+
+func TestCrashDetectedAndPermanent(t *testing.T) {
+	c, hbs, hist := buildFDCluster(t, quietParams(3), 10, 7)
+	const crashAt = 100.0
+	c.CrashAt(2, crashAt)
+	c.RunUntil(500)
+	if !hbs[0].Suspects(2) || !hbs[2].Suspects(2) {
+		t.Fatal("crashed process not suspected (completeness)")
+	}
+	tds := DetectionTimes(hist, 2, crashAt, 3)
+	for p, td := range tds {
+		if math.IsInf(td, 1) {
+			t.Fatalf("p%d never permanently suspected the crashed process", p)
+		}
+		// Detection needs at most T + T_h + slack.
+		if td > 10+7+1 {
+			t.Fatalf("p%d detection time %v too large", p, td)
+		}
+	}
+}
+
+func TestAnyMessageResetsTimer(t *testing.T) {
+	// p2 sends no heartbeats (period beyond horizon) but sends an
+	// application message before the timeout; p1 must not suspect it
+	// until T after that message.
+	params := quietParams(2)
+	c, err := netsim.New(params, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := &History{}
+	s1 := neko.NewStack(c.Context(1))
+	hb1 := NewHeartbeat(s1, 20, 1e6, hist)
+	c.Attach(1, s1)
+	s2 := neko.NewStack(c.Context(2))
+	s2.Handle("app", func(neko.Message) {})
+	ctx2 := c.Context(2)
+	c.Attach(2, s2)
+	c.Start()
+	// App message from p2 at t=15 (before the t=20 expiry).
+	c.StartAt(2, 15, func() { ctx2.Send(neko.Message{To: 1, Type: "app"}) })
+	c.RunUntil(30)
+	if hb1.Suspects(2) {
+		t.Fatal("suspected despite fresh application message (§2.2)")
+	}
+	c.RunUntil(15 + 20 + 1)
+	if !hb1.Suspects(2) {
+		t.Fatal("not suspected T after the last message")
+	}
+	evs := hist.Events()
+	if len(evs) != 1 || !evs[0].Suspected || evs[0].At < 35 {
+		t.Fatalf("unexpected history %+v", evs)
+	}
+}
+
+func TestSuspicionClearsOnMessage(t *testing.T) {
+	params := quietParams(2)
+	c, err := netsim.New(params, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := neko.NewStack(c.Context(1))
+	hb1 := NewHeartbeat(s1, 10, 1e6, nil) // p1 monitors, never beats back fast
+	c.Attach(1, s1)
+	s2 := neko.NewStack(c.Context(2))
+	ctx2 := c.Context(2)
+	s2.Handle("app", func(neko.Message) {})
+	c.Attach(2, s2)
+	var changes []bool
+	hb1.OnChange(func(q neko.ProcessID, suspected bool) {
+		if q == 2 {
+			changes = append(changes, suspected)
+		}
+	})
+	c.Start()
+	c.StartAt(2, 25, func() { ctx2.Send(neko.Message{To: 1, Type: "app"}) })
+	c.RunUntil(50)
+	if len(changes) < 2 || changes[0] != true || changes[1] != false {
+		t.Fatalf("suspicion changes %v, want suspect then trust", changes)
+	}
+}
+
+func TestOracle(t *testing.T) {
+	o := NewOracle(2, 5)
+	if !o.Suspects(2) || !o.Suspects(5) || o.Suspects(1) {
+		t.Fatal("oracle suspicion set wrong")
+	}
+	o.OnChange(func(neko.ProcessID, bool) { t.Fatal("oracle must never notify") })
+}
+
+func TestNewHeartbeatValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive timeout accepted")
+		}
+	}()
+	c, _ := netsim.New(quietParams(2), rng.New(1))
+	NewHeartbeat(neko.NewStack(c.Context(1)), 0, 1, nil)
+}
+
+// TestEstimateQoSHandComputed checks the §4 equations on a synthetic
+// history: one pair, two mistakes of 1 ms each over 100 ms.
+func TestEstimateQoSHandComputed(t *testing.T) {
+	h := &History{}
+	h.Record(1, 2, true, 10)
+	h.Record(1, 2, false, 11)
+	h.Record(1, 2, true, 60)
+	h.Record(1, 2, false, 61)
+	q := EstimateQoS(h, 100, 2)
+	// Pair (1,2): nTS+nST = 4 → T_MR = 2·100/4 = 50; T_S = 2 →
+	// T_M = 50·2/100 = 1. Pair (2,1): mistake-free → censored 2·T_exp.
+	if q.Pairs != 2 || q.MistakeFree != 1 {
+		t.Fatalf("pairs=%d mistakeFree=%d", q.Pairs, q.MistakeFree)
+	}
+	wantTMR := (50.0 + 200.0) / 2
+	if math.Abs(q.TMR-wantTMR) > 1e-9 {
+		t.Fatalf("TMR = %v, want %v", q.TMR, wantTMR)
+	}
+	if math.Abs(q.TM-0.5) > 1e-9 { // (1 + 0)/2
+		t.Fatalf("TM = %v, want 0.5", q.TM)
+	}
+}
+
+// TestEstimateQoSOpenSuspicion: a suspicion still standing at the end of
+// the experiment counts its elapsed time.
+func TestEstimateQoSOpenSuspicion(t *testing.T) {
+	h := &History{}
+	h.Record(1, 2, true, 90) // suspected through t=100
+	q := EstimateQoS(h, 100, 2)
+	// nTS+nST = 1 → TMR = 200; TS = 10 → TM = 200·10/100 = 20.
+	found := false
+	for _, e := range h.Events() {
+		if e.Suspected {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("history lost the event")
+	}
+	wantTMR := (200.0 + 200.0) / 2
+	wantTM := (20.0 + 0.0) / 2
+	if math.Abs(q.TMR-wantTMR) > 1e-9 || math.Abs(q.TM-wantTM) > 1e-9 {
+		t.Fatalf("TMR=%v TM=%v, want %v/%v", q.TMR, q.TM, wantTMR, wantTM)
+	}
+}
+
+func TestEstimateQoSIgnoresDuplicateTransitions(t *testing.T) {
+	h := &History{}
+	h.Record(1, 2, true, 10)
+	h.Record(1, 2, true, 12) // duplicate suspect; must not double-count
+	h.Record(1, 2, false, 14)
+	q := EstimateQoS(h, 100, 2)
+	if q.Transitions != 2 {
+		t.Fatalf("transitions = %d, want 2", q.Transitions)
+	}
+}
+
+func TestHeartbeatStop(t *testing.T) {
+	c, hbs, hist := buildFDCluster(t, quietParams(2), 5, 3)
+	c.RunUntil(20)
+	before := c.Delivered()
+	for _, hb := range hbs {
+		hb.Stop()
+	}
+	c.RunUntil(100)
+	// In-flight heartbeats may still land; after that, traffic must cease.
+	c.RunUntil(200)
+	after := c.Delivered()
+	if after > before+uint64(2) {
+		t.Fatalf("heartbeats continued after Stop: %d -> %d", before, after)
+	}
+	_ = hist
+}

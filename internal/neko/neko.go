@@ -1,0 +1,174 @@
+// Package neko is a small protocol-development framework modeled on the
+// Neko framework of Urbán, Défago & Schiper [18], which the paper used to
+// run the Chandra–Toueg consensus implementation: the same algorithm code
+// executes unmodified either inside a discrete-event cluster emulator
+// (internal/netsim, virtual time) or on a real-time transport
+// (internal/realnet, in-process channels or TCP).
+//
+// A Process is a Stack of protocol layers attached to an execution Context.
+// Protocols communicate through typed messages and timers. Time is a
+// float64 number of milliseconds — the unit used throughout the paper —
+// rather than time.Duration, because virtual-time executors schedule on a
+// continuous simulated clock; real-time executors convert at the boundary.
+package neko
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ProcessID identifies a process, 1-based as in the paper (p_1 … p_n).
+type ProcessID int
+
+// DefaultMessageSize is the assumed on-wire size of a protocol message in
+// bytes when Message.Size is zero. §2.5: "The size of a typical message is
+// around 100 bytes."
+const DefaultMessageSize = 100
+
+// Message is a protocol message. Payload must be a value type (or pointer
+// to struct) understood by the destination handler; transports that
+// serialize (TCP) require payload types to be registered with encoding/gob.
+type Message struct {
+	From, To ProcessID
+	Type     string
+	Payload  any
+	Size     int // bytes on the wire; 0 means DefaultMessageSize
+}
+
+// WireSize returns the message's size in bytes, applying the default.
+func (m Message) WireSize() int {
+	if m.Size > 0 {
+		return m.Size
+	}
+	return DefaultMessageSize
+}
+
+func (m Message) String() string {
+	return fmt.Sprintf("%s p%d→p%d", m.Type, m.From, m.To)
+}
+
+// TimerHandle identifies a pending timer so it can be cancelled. Handles
+// are opaque to protocols.
+type TimerHandle interface{ Stop() }
+
+// Context is the execution environment a protocol sees: identity, clock,
+// message transmission and timers. Implementations: the virtual-time
+// cluster emulator and the real-time runtime. All Context methods must be
+// called from protocol code running inside the executor (message handlers,
+// timer callbacks, Start), never from foreign goroutines.
+type Context interface {
+	// ID returns this process's identifier (1..N).
+	ID() ProcessID
+	// N returns the number of processes in the system.
+	N() int
+	// Now returns the local clock in milliseconds. Local clocks may be
+	// offset from one another (the paper synchronized them within ±50 µs).
+	Now() float64
+	// Send transmits m to m.To. The executor fills m.From. Sending to self
+	// is not supported; protocols short-circuit local delivery.
+	Send(m Message)
+	// SetTimer schedules fn after d milliseconds of local time. The
+	// callback runs in the executor like a message handler. Executors may
+	// add scheduler latency (the emulator models the Linux jiffy quantum).
+	SetTimer(d float64, fn func()) TimerHandle
+}
+
+// Protocol is one layer of a process stack. Start is invoked once when the
+// executor begins; message handlers are registered against the Stack.
+type Protocol interface {
+	// Start is called once, after all layers are constructed, when the
+	// process begins executing.
+	Start()
+}
+
+// Stack dispatches inbound messages to protocol layers. Layers register
+// handlers for the message types they own, and taps that observe every
+// inbound message (the heartbeat failure detector taps all traffic because
+// "the reception of any message from q resets the timer", §2.2).
+type Stack struct {
+	ctx      Context
+	layers   []Protocol
+	handlers map[string]func(Message)
+	taps     []func(Message)
+}
+
+// NewStack creates an empty stack bound to an execution context.
+func NewStack(ctx Context) *Stack {
+	return &Stack{ctx: ctx, handlers: make(map[string]func(Message))}
+}
+
+// Context returns the execution context of the stack.
+func (s *Stack) Context() Context { return s.ctx }
+
+// AddLayer appends a protocol layer. Layers are started in registration
+// order (bottom first).
+func (s *Stack) AddLayer(p Protocol) { s.layers = append(s.layers, p) }
+
+// Handle registers a handler for an exact message type. Registering a
+// duplicate type panics: message ownership must be unambiguous.
+func (s *Stack) Handle(msgType string, h func(Message)) {
+	if _, dup := s.handlers[msgType]; dup {
+		panic(fmt.Sprintf("neko: duplicate handler for message type %q", msgType))
+	}
+	s.handlers[msgType] = h
+}
+
+// Tap registers an observer invoked for every inbound message, before the
+// type handler.
+func (s *Stack) Tap(fn func(Message)) { s.taps = append(s.taps, fn) }
+
+// Start starts all layers in registration order.
+func (s *Stack) Start() {
+	for _, l := range s.layers {
+		l.Start()
+	}
+}
+
+// Dispatch routes an inbound message: taps first, then the type handler.
+// Messages without a handler are dropped silently (a layer may have shut
+// down); executors log them if configured.
+func (s *Stack) Dispatch(m Message) {
+	for _, tap := range s.taps {
+		tap(m)
+	}
+	if h, ok := s.handlers[m.Type]; ok {
+		h(m)
+	}
+}
+
+// HandledTypes returns the registered message types, sorted (for tests).
+func (s *Stack) HandledTypes() []string {
+	ts := make([]string, 0, len(s.handlers))
+	for t := range s.handlers {
+		ts = append(ts, t)
+	}
+	sort.Strings(ts)
+	return ts
+}
+
+// Broadcast sends m to every process except the sender, as n−1 unicast
+// messages in ascending process-ID order — exactly what the measured
+// implementation does (§5.1: "in the implementation they are n−1 unicast
+// messages"). The SAN model, by contrast, models a broadcast as a single
+// message; that asymmetry explains the n = 3 crash anomaly in Table 1.
+func Broadcast(ctx Context, m Message) {
+	for id := ProcessID(1); id <= ProcessID(ctx.N()); id++ {
+		if id == ctx.ID() {
+			continue
+		}
+		mm := m
+		mm.To = id
+		ctx.Send(mm)
+	}
+}
+
+// FailureDetector is the query interface of a local failure-detector
+// module (§2.1): a list of processes currently suspected to have crashed.
+type FailureDetector interface {
+	// Suspects reports whether q is currently suspected.
+	Suspects(q ProcessID) bool
+	// OnChange registers a callback fired whenever the suspicion state of
+	// some monitored process changes. Consensus uses it to abort waiting
+	// for a suspected coordinator.
+	OnChange(fn func(q ProcessID, suspected bool))
+}

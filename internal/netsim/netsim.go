@@ -1,0 +1,497 @@
+// Package netsim emulates the paper's measurement environment (§2.5): a
+// cluster of PCs connected by a simplex 100 Base-TX Ethernet hub, running
+// Linux 2.2 and a JVM. It is a discrete-event model executing real protocol
+// code (internal/neko stacks) in virtual time.
+//
+// The emulator reproduces, at the mechanism level, the phenomena the paper
+// measures:
+//
+//   - per-host CPU cost for sending and receiving each message, and a
+//     shared serial transmission medium (the hub) — the two contention
+//     points of the paper's network model (§3.3);
+//   - a receive-path latency tail (interrupt coalescing / protocol stack),
+//     which produces the bi-modal end-to-end delay of Fig. 6;
+//   - OS timer coarseness: Linux 2.2 has a 10 ms jiffy; sleeps overshoot
+//     by U[0, granularity) and are sometimes deferred to the next absolute
+//     scheduler tick. This drives the failure-detector QoS curves (Fig. 8)
+//     and the latency peak near T = 10 ms (Fig. 9a, §5.4);
+//   - host execution pauses (JVM garbage collection, cron, IRQ storms)
+//     that freeze a host entirely, producing correlated wrong suspicions —
+//     the effect the paper's independent-FD SAN model cannot capture
+//     (§5.4);
+//   - per-host clock offsets within the ±50 µs NTP synchronization bound
+//     (§4), applied to the common start instant t_0;
+//   - process crashes: messages to a crashed process still consume sender
+//     CPU and hub time (the cause of the n = 3 anomaly in Table 1).
+//
+// All times are float64 milliseconds.
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"ctsan/internal/des"
+	"ctsan/internal/dist"
+	"ctsan/internal/neko"
+	"ctsan/internal/rng"
+)
+
+// Params configures the emulated cluster. Zero-value fields take the
+// calibrated defaults of DefaultParams, which reproduce the paper's
+// measured end-to-end delay distribution (§5.1).
+type Params struct {
+	// N is the number of processes (one per host). The paper uses odd
+	// 3..11 on a 12-PC cluster.
+	N int
+
+	// TSend is the CPU cost of pushing one message through the sending
+	// host's protocol stack; TReceive likewise on the receiving host.
+	TSend, TReceive dist.Dist
+	// TWire is the hub occupancy per frame (serialization at 100 Mbit/s
+	// plus preamble and inter-frame gap).
+	TWire dist.Dist
+	// TailProb is the probability that a message experiences extra
+	// receive-path latency drawn from Tail (the second mode of Fig. 6).
+	TailProb float64
+	Tail     dist.Dist
+
+	// SleepGranularity is the OS timer coarseness: a timer armed for d ms
+	// fires after d + U[0, SleepGranularity) + kernel latency. Linux 2.2
+	// jiffy = 10 ms.
+	SleepGranularity float64
+	// GridProb is the probability that a timer wake-up is additionally
+	// deferred to the host's next absolute scheduler tick (10 ms grid),
+	// which produces resonance effects when timeout values are close to
+	// the quantum (the Fig. 9a peak at T = 10 ms).
+	GridProb float64
+	// ThreadJitter is thread-scheduling noise added to every wake-up.
+	ThreadJitter dist.Dist
+	// KernelLate is small always-present wake-up latency.
+	KernelLate dist.Dist
+	// WakeTailProb/WakeTail model occasional long delays of sleeping
+	// threads (priority decay under load, JVM safepoints): with this
+	// probability a timer wake-up is additionally delayed by a WakeTail
+	// sample. Message processing is unaffected — the I/O path keeps its
+	// dynamic priority — so these delays starve the heartbeat sender
+	// thread and produce the correlated wrong suspicions of §5.4 without
+	// disturbing class-1 latency.
+	WakeTailProb float64
+	WakeTail     dist.Dist
+
+	// PauseEvery is the inter-arrival distribution of whole-host execution
+	// pauses (GC-like); PauseDur their duration. Pauses freeze timers,
+	// sends and receive processing, producing correlated FD mistakes.
+	PauseEvery dist.Dist
+	PauseDur   dist.Dist
+
+	// ClockSkew is the distribution of per-host clock offsets relative to
+	// global simulated time (may be negative). Paper: NTP within ±50 µs.
+	ClockSkew dist.Dist
+
+	// Crashed lists processes that are crashed from the very beginning
+	// (class-2 runs, §2.4). A crashed process never starts and never
+	// processes messages.
+	Crashed []neko.ProcessID
+
+	// CrashedConsumeWire controls the cost of sending to a crashed
+	// process. The default (false) models TCP to a dead peer: the send
+	// costs the sender's CPU (FailedSend — §5.3 explains the n = 3 anomaly
+	// by exactly this sender-side delay: "the message m sent to p delays
+	// the sending of m to q") but the frame never occupies the shared
+	// medium, as the connection fails fast. Set true to charge the full
+	// path (what the paper's SAN model implicitly does, since it has no
+	// notion of connection state).
+	CrashedConsumeWire bool
+	// FailedSend is the sender CPU cost of a send that fails fast (TCP
+	// reset + JVM exception path); used when CrashedConsumeWire is false.
+	FailedSend dist.Dist
+}
+
+// DefaultParams returns the calibrated emulator configuration for n
+// processes. The network decomposition follows the paper's own (§5.1):
+// t_send = t_receive = 0.025 ms of host CPU per message, and a medium
+// occupancy equal to the measured end-to-end delay minus 2·t_send, so that
+// the uncontended unicast end-to-end delay reproduces the paper's bi-modal
+// fit exactly: U[0.1, 0.13] w.p. 0.8 and U[0.145, 0.35] w.p. 0.2.
+//
+// Host pauses (GC-like freezes) are disabled by default: the paper's
+// class-1 runs show tight confidence intervals (±0.02 ms over 5000
+// executions, §5.2) incompatible with frequent long pauses. Enable them
+// via PauseEvery for failure-injection studies.
+func DefaultParams(n int) Params {
+	return Params{
+		N:        n,
+		TSend:    dist.U(0.020, 0.030),
+		TReceive: dist.U(0.020, 0.030),
+		TWire: dist.MustMixture(
+			dist.Component{P: 0.80, D: dist.U(0.050, 0.080)},
+			dist.Component{P: 0.20, D: dist.U(0.095, 0.300)},
+		),
+		TailProb:         0,
+		Tail:             dist.Det(0),
+		SleepGranularity: 10.0,
+		GridProb:         0.35,
+		ThreadJitter:     dist.Exp(0.3),
+		KernelLate:       dist.Exp(0.05),
+		WakeTailProb:     0.08,
+		WakeTail:         dist.U(2, 15),
+		PauseEvery:       dist.Det(0), // disabled
+		PauseDur: dist.MustMixture(
+			dist.Component{P: 0.80, D: dist.U(0.5, 6)},
+			dist.Component{P: 0.17, D: dist.U(6, 18)},
+			dist.Component{P: 0.03, D: dist.U(18, 34)},
+		),
+		ClockSkew:  dist.U(-0.05, 0.05),
+		FailedSend: dist.U(0.12, 0.18),
+	}
+}
+
+// Cluster is an emulated cluster executing one neko.Stack per process in
+// virtual time. Construct with New, attach stacks with Attach, then drive
+// the simulation with Start/Run/RunUntil.
+type Cluster struct {
+	params Params
+	sim    des.Sim
+	rand   *rng.Stream
+	hosts  []*host // index 0..n-1 for processes 1..n
+	// delivered counts messages handed to protocol stacks.
+	delivered uint64
+	// hubFree is when the shared medium next becomes idle.
+	hubFree float64
+	// traceFn, if set, observes every message delivery (for tests).
+	traceFn func(m neko.Message, at float64)
+}
+
+// host models one PC: a CPU with FIFO queueing, a scheduler with coarse
+// timers, pauses, a skewed clock, and the process running on it.
+type host struct {
+	c          *Cluster
+	id         neko.ProcessID
+	cpuFree    float64
+	clockOff   float64
+	gridPhase  float64
+	crashedAt  float64 // +Inf if never
+	stack      *neko.Stack
+	netRand    *rng.Stream
+	schedRand  *rng.Stream
+	pauseRand  *rng.Stream
+	pauseUntil float64
+}
+
+// New creates a cluster from params, drawing all randomness from child
+// streams of r. Attach a stack to every process before calling Start.
+func New(params Params, r *rng.Stream) (*Cluster, error) {
+	if params.N < 1 {
+		return nil, fmt.Errorf("netsim: need at least 1 process, got %d", params.N)
+	}
+	def := DefaultParams(params.N)
+	fillDefaults(&params, def)
+	c := &Cluster{params: params, rand: r.Child(0xc1)}
+	for i := 0; i < params.N; i++ {
+		id := neko.ProcessID(i + 1)
+		h := &host{
+			c:         c,
+			id:        id,
+			clockOff:  params.ClockSkew.Sample(c.rand),
+			crashedAt: math.Inf(1),
+			netRand:   r.Child(0x100 + uint64(i)),
+			schedRand: r.Child(0x200 + uint64(i)),
+			pauseRand: r.Child(0x300 + uint64(i)),
+		}
+		h.gridPhase = h.schedRand.Uniform(0, params.SleepGranularity)
+		c.hosts = append(c.hosts, h)
+	}
+	for _, id := range params.Crashed {
+		if id < 1 || int(id) > params.N {
+			return nil, fmt.Errorf("netsim: crashed process %d out of range 1..%d", id, params.N)
+		}
+		c.hosts[id-1].crashedAt = 0
+	}
+	return c, nil
+}
+
+// fillDefaults replaces nil/zero stochastic fields with defaults.
+func fillDefaults(p *Params, def Params) {
+	if p.TSend == nil {
+		p.TSend = def.TSend
+	}
+	if p.TReceive == nil {
+		p.TReceive = def.TReceive
+	}
+	if p.TWire == nil {
+		p.TWire = def.TWire
+	}
+	if p.Tail == nil {
+		p.Tail = def.Tail
+		if p.TailProb == 0 {
+			p.TailProb = def.TailProb
+		}
+	}
+	if p.SleepGranularity == 0 {
+		p.SleepGranularity = def.SleepGranularity
+	}
+	if p.ThreadJitter == nil {
+		p.ThreadJitter = def.ThreadJitter
+	}
+	if p.KernelLate == nil {
+		p.KernelLate = def.KernelLate
+	}
+	if p.WakeTail == nil {
+		p.WakeTail = def.WakeTail
+		if p.WakeTailProb == 0 {
+			p.WakeTailProb = def.WakeTailProb
+		}
+	}
+	if p.PauseEvery == nil {
+		p.PauseEvery = def.PauseEvery
+	}
+	if p.PauseDur == nil {
+		p.PauseDur = def.PauseDur
+	}
+	if p.ClockSkew == nil {
+		p.ClockSkew = def.ClockSkew
+	}
+	if p.FailedSend == nil {
+		p.FailedSend = def.FailedSend
+	}
+}
+
+// Params returns the effective (defaulted) parameters.
+func (c *Cluster) Params() Params { return c.params }
+
+// Context returns the execution context for process id, to be passed to
+// protocol constructors before Attach.
+func (c *Cluster) Context(id neko.ProcessID) neko.Context { return c.hostFor(id) }
+
+func (c *Cluster) hostFor(id neko.ProcessID) *host {
+	if id < 1 || int(id) > len(c.hosts) {
+		panic(fmt.Sprintf("netsim: process id %d out of range", id))
+	}
+	return c.hosts[id-1]
+}
+
+// Attach binds a protocol stack to process id. The stack must have been
+// built against Context(id).
+func (c *Cluster) Attach(id neko.ProcessID, s *neko.Stack) {
+	h := c.hostFor(id)
+	if h.stack != nil {
+		panic(fmt.Sprintf("netsim: process %d already has a stack", id))
+	}
+	h.stack = s
+}
+
+// Trace registers an observer for every message delivery (test hook).
+func (c *Cluster) Trace(fn func(m neko.Message, at float64)) { c.traceFn = fn }
+
+// Now returns the global simulated time in milliseconds.
+func (c *Cluster) Now() float64 { return c.sim.Now() }
+
+// Delivered returns the number of messages delivered to stacks so far.
+func (c *Cluster) Delivered() uint64 { return c.delivered }
+
+// Start launches pause processes and starts every attached, non-crashed
+// stack at virtual time zero (subject to nothing: Start itself runs
+// immediately; protocol-level start skew is the caller's concern via
+// StartAt).
+func (c *Cluster) Start() {
+	for _, h := range c.hosts {
+		if c.params.PauseEvery.Mean() > 0 {
+			h.scheduleNextPause()
+		}
+		if h.stack != nil && !h.crashed(0) {
+			h := h
+			c.sim.At(0, func() { h.stack.Start() })
+		}
+	}
+}
+
+// StartAt schedules fn on process id's host at the global time when that
+// host's *local* clock reads localT — this is how the experiment harness
+// implements "all processes propose at the same time t_0" under clock skew
+// (§2.3, §4). fn does not run if the process is crashed by then.
+func (c *Cluster) StartAt(id neko.ProcessID, localT float64, fn func()) {
+	h := c.hostFor(id)
+	globalT := localT - h.clockOff
+	if globalT < c.sim.Now() {
+		globalT = c.sim.Now()
+	}
+	c.sim.At(globalT, func() {
+		if h.crashed(c.sim.Now()) {
+			return
+		}
+		fn()
+	})
+}
+
+// CrashAt marks process id as crashed from global time t on: its timers
+// stop firing and inbound messages are dropped at delivery time.
+func (c *Cluster) CrashAt(id neko.ProcessID, t float64) { c.hostFor(id).crashedAt = t }
+
+// AtGlobal schedules fn at global simulated time t, independent of any
+// host (no scheduler lateness, unaffected by crashes). Experiment
+// harnesses use it for campaign bookkeeping such as watchdogs.
+func (c *Cluster) AtGlobal(t float64, fn func()) {
+	if t < c.sim.Now() {
+		t = c.sim.Now()
+	}
+	c.sim.At(t, fn)
+}
+
+// Run executes events until stop returns true or no events remain.
+func (c *Cluster) Run(stop func() bool) float64 { return c.sim.Run(stop) }
+
+// RunUntil executes events up to global time tmax.
+func (c *Cluster) RunUntil(tmax float64) { c.sim.RunUntil(tmax) }
+
+// Steps returns the number of DES events executed.
+func (c *Cluster) Steps() uint64 { return c.sim.Steps() }
+
+// --- host: CPU, pauses, scheduler ---
+
+func (h *host) crashed(at float64) bool { return at >= h.crashedAt }
+
+// reserveCPU reserves cost ms of CPU in FIFO order starting no earlier
+// than the current time, and schedules fn at the completion instant.
+// fn may be nil (pure occupancy, used for pauses).
+func (h *host) reserveCPU(cost float64, fn func()) {
+	now := h.c.sim.Now()
+	start := now
+	if h.cpuFree > start {
+		start = h.cpuFree
+	}
+	end := start + cost
+	h.cpuFree = end
+	if fn != nil {
+		h.c.sim.At(end, fn)
+	}
+}
+
+// scheduleNextPause arms the host's next execution pause.
+func (h *host) scheduleNextPause() {
+	gap := h.c.params.PauseEvery.Sample(h.pauseRand)
+	h.c.sim.After(gap, func() {
+		dur := h.c.params.PauseDur.Sample(h.pauseRand)
+		h.reserveCPU(dur, nil)
+		h.scheduleNextPause()
+	})
+}
+
+// wakeLateness samples the scheduler-induced delay of a timer wake-up
+// requested for absolute time ideal: thread-scheduling jitter, plus an
+// occasional deferral to the host's next absolute scheduler tick (the
+// 10 ms jiffy grid of Linux 2.2), plus kernel wake-up latency.
+func (h *host) wakeLateness(ideal float64) float64 {
+	p := h.c.params
+	late := p.ThreadJitter.Sample(h.schedRand)
+	if p.GridProb > 0 && h.schedRand.Float64() < p.GridProb {
+		g := p.SleepGranularity
+		next := math.Ceil((ideal-h.gridPhase)/g)*g + h.gridPhase
+		if d := next - ideal; d > late {
+			late = d
+		}
+	}
+	if p.WakeTailProb > 0 && h.schedRand.Float64() < p.WakeTailProb {
+		late += p.WakeTail.Sample(h.schedRand)
+	}
+	late += p.KernelLate.Sample(h.schedRand)
+	return late
+}
+
+// --- neko.Context implementation ---
+
+// ID implements neko.Context.
+func (h *host) ID() neko.ProcessID { return h.id }
+
+// N implements neko.Context.
+func (h *host) N() int { return h.c.params.N }
+
+// Now implements neko.Context: the host's local clock.
+func (h *host) Now() float64 { return h.c.sim.Now() + h.clockOff }
+
+// Send implements neko.Context. The message passes through: sender CPU
+// (TSend) → hub (TWire, FIFO) → receiver CPU (TReceive, plus occasional
+// Tail latency) → stack dispatch. This is exactly the seven-step
+// decomposition of Fig. 3 in the paper.
+func (h *host) Send(m neko.Message) {
+	if m.To == h.id {
+		panic("netsim: send to self (protocols must short-circuit local delivery)")
+	}
+	if m.To < 1 || int(m.To) > h.c.params.N {
+		panic(fmt.Sprintf("netsim: send to unknown process %d", m.To))
+	}
+	m.From = h.id
+	c := h.c
+	// A send to an already-crashed peer fails fast (TCP reset): it costs
+	// the sender the exception path and never reaches the medium.
+	if !c.params.CrashedConsumeWire && c.hostFor(m.To).crashed(c.sim.Now()) {
+		h.reserveCPU(c.params.FailedSend.Sample(h.netRand), nil)
+		return
+	}
+	// Step 1-2: sending queue + CPU_i for t_send.
+	h.reserveCPU(c.params.TSend.Sample(h.netRand), func() {
+		// Step 3-4: network queue + shared medium for t_net.
+		wire := c.params.TWire.Sample(h.netRand)
+		start := c.sim.Now()
+		if c.hubFree > start {
+			start = c.hubFree
+		}
+		end := start + wire
+		c.hubFree = end
+		c.sim.At(end, func() {
+			// Step 5-6: receiving queue + CPU_j for t_receive.
+			dst := c.hostFor(m.To)
+			cost := c.params.TReceive.Sample(dst.netRand)
+			if c.params.TailProb > 0 && dst.netRand.Float64() < c.params.TailProb {
+				cost += c.params.Tail.Sample(dst.netRand)
+			}
+			dst.reserveCPU(cost, func() {
+				// Step 7: the message is received by p_j.
+				if dst.crashed(c.sim.Now()) || dst.stack == nil {
+					return
+				}
+				c.delivered++
+				if c.traceFn != nil {
+					c.traceFn(m, c.sim.Now())
+				}
+				dst.stack.Dispatch(m)
+			})
+		})
+	})
+}
+
+// simTimer implements neko.TimerHandle.
+type simTimer struct {
+	h       *host
+	handle  des.Handle
+	stopped bool
+}
+
+// Stop implements neko.TimerHandle.
+func (t *simTimer) Stop() {
+	t.stopped = true
+	t.h.c.sim.Cancel(t.handle)
+}
+
+// SetTimer implements neko.Context. The callback is subject to scheduler
+// lateness and runs through the host CPU queue (so pauses defer it).
+func (h *host) SetTimer(d float64, fn func()) neko.TimerHandle {
+	if d < 0 {
+		d = 0
+	}
+	ideal := h.c.sim.Now() + d
+	t := &simTimer{h: h}
+	t.handle = h.c.sim.At(ideal+h.wakeLateness(ideal), func() {
+		// Wake-up: needs the CPU (zero cost, but FIFO behind pauses and
+		// in-flight receive processing).
+		h.reserveCPU(0, func() {
+			if t.stopped || h.crashed(h.c.sim.Now()) {
+				return
+			}
+			fn()
+		})
+	})
+	return t
+}
+
+var _ neko.Context = (*host)(nil)

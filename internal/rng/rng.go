@@ -1,0 +1,170 @@
+// Package rng provides deterministic, splittable pseudo-random number
+// streams for reproducible simulation experiments.
+//
+// Every stochastic component of the repository (the cluster emulator, the
+// SAN solver, workload generators) draws from its own Stream so that
+// experiments are reproducible bit-for-bit given a root seed, and so that
+// changing the number of samples drawn by one component does not perturb
+// the randomness seen by another. Streams are derived hierarchically with
+// Child, following the common "seed sequence" design of simulation
+// libraries.
+//
+// The generator is xoshiro256**, seeded through SplitMix64, which is the
+// combination recommended by the xoshiro authors. It is not cryptographic;
+// it is fast, has a 2^256-1 period and passes BigCrush.
+package rng
+
+import "math"
+
+// Stream is a deterministic pseudo-random number stream. The zero value is
+// not useful; construct streams with New or Child. A Stream is not safe for
+// concurrent use; give each goroutine (or each simulated entity) its own
+// child stream.
+type Stream struct {
+	s   [4]uint64
+	key uint64 // immutable derivation key for Child; never advanced by draws
+}
+
+// splitmix64 advances the SplitMix64 state and returns the next output.
+// It is used only for seeding, as recommended by the xoshiro authors.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a Stream seeded from the given seed. Distinct seeds give
+// statistically independent streams.
+func New(seed uint64) *Stream {
+	st := seed
+	var r Stream
+	r.key = splitmix64(&st)
+	for i := range r.s {
+		r.s[i] = splitmix64(&st)
+	}
+	// xoshiro256** must not be seeded with the all-zero state. SplitMix64
+	// cannot produce four consecutive zeros, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Stream) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Child derives a new independent stream from this one, keyed by id. The
+// derivation uses an immutable per-stream key rather than the generator
+// state, so Child(i) returns the same stream no matter how many values the
+// parent has produced — per-entity streams are stable across runs
+// regardless of construction or consumption order.
+func (r *Stream) Child(id uint64) *Stream {
+	st := r.key ^ (id+1)*0x9e3779b97f4a7c15
+	var c Stream
+	c.key = splitmix64(&st)
+	for i := range c.s {
+		c.s[i] = splitmix64(&st)
+	}
+	if c.s[0]|c.s[1]|c.s[2]|c.s[3] == 0 {
+		c.s[0] = 1
+	}
+	return &c
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (r *Stream) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method, bias-free.
+	bound := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := mul128(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul128 returns the 128-bit product of a and b as (hi, lo).
+func mul128(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	ah, al := a>>32, a&mask
+	bh, bl := b>>32, b&mask
+	t := al * bl
+	lo = t & mask
+	c := t >> 32
+	t = ah*bl + c
+	c = t >> 32
+	t2 := al*bh + (t & mask)
+	lo |= (t2 & mask) << 32
+	hi = ah*bh + c + (t2 >> 32)
+	return hi, lo
+}
+
+// Exp returns an exponentially distributed sample with the given mean.
+// It panics if mean is negative; a zero mean returns 0.
+func (r *Stream) Exp(mean float64) float64 {
+	if mean < 0 {
+		panic("rng: Exp with negative mean")
+	}
+	if mean == 0 {
+		return 0
+	}
+	// Inverse CDF. 1-Float64() is in (0,1], so Log never sees 0.
+	return -mean * math.Log(1-r.Float64())
+}
+
+// Uniform returns a uniform sample in [lo, hi). It panics if hi < lo.
+func (r *Stream) Uniform(lo, hi float64) float64 {
+	if hi < lo {
+		panic("rng: Uniform with hi < lo")
+	}
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Normal returns a normally distributed sample with the given mean and
+// standard deviation, using the polar (Marsaglia) method.
+func (r *Stream) Normal(mean, stddev float64) float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return mean + stddev*u*math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Perm returns a random permutation of [0, n) (Fisher–Yates).
+func (r *Stream) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

@@ -1,0 +1,121 @@
+package san
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ctsan/internal/dist"
+	"ctsan/internal/rng"
+)
+
+// buildRandomModel constructs a random but well-formed SAN: a ring of
+// places connected by timed activities with random delays, plus gated
+// instantaneous activities and a shared resource, exercising every engine
+// feature.
+func buildRandomModel(r *rng.Stream) (*Model, *Place) {
+	m := NewModel("random")
+	n := 3 + r.Intn(6)
+	places := make([]*Place, n)
+	for i := range places {
+		init := 0
+		if r.Float64() < 0.5 {
+			init = 1 + r.Intn(2)
+		}
+		places[i] = m.Place(name("p", i), init)
+	}
+	resource := m.Place("resource", 1)
+	done := m.Place("done", 0)
+	for i := 0; i < n; i++ {
+		src := places[i]
+		dst := places[(i+1)%n]
+		var d dist.Dist
+		switch r.Intn(3) {
+		case 0:
+			d = dist.Det(0.1 + r.Float64())
+		case 1:
+			d = dist.Exp(0.5 + r.Float64())
+		default:
+			d = dist.U(0.1, 0.2+r.Float64())
+		}
+		a := m.Timed(name("t", i), Fixed(d)).Input(src)
+		if r.Float64() < 0.5 {
+			a.Case(0.4).Output(dst)
+			a.Case(0.6).Output(dst, done)
+		} else {
+			a.Output(dst, done)
+		}
+	}
+	// A gated instantaneous activity consuming the resource when a place
+	// is doubly marked.
+	watch := places[r.Intn(n)]
+	sink := m.Place("sink", 0)
+	m.Instant("gated", 1).
+		Input(resource).
+		FIFO(resource).
+		InputGate("ge2", []*Place{watch}, func(mk *Marking) bool { return mk.Get(watch) >= 2 }, nil).
+		OutputGate("drain", func(mk *Marking) {
+			mk.Set(watch, 0)
+			mk.Add(sink, 1)
+		})
+	return m, done
+}
+
+func name(prefix string, i int) string { return prefix + string(rune('a'+i)) }
+
+// TestQuickDepTrackingEquivalence: on random models, the dependency-
+// tracked simulator and the full-rescan simulator must produce identical
+// trajectories (stop time and firing counts).
+func TestQuickDepTrackingEquivalence(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		gen := rng.New(seed)
+		model, done := buildRandomModel(gen)
+		run := func(full bool) (float64, uint64) {
+			s := NewSim(model, rng.New(seed^0xabc))
+			s.SetFullRescan(full)
+			at, _ := s.Run(50, func(mk *Marking) bool { return mk.Get(done) >= 20 })
+			return at, s.Fired()
+		}
+		t1, f1 := run(false)
+		t2, f2 := run(true)
+		return t1 == t2 && f1 == f2
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMarkingsNonNegative: markings never go negative under any
+// random trajectory (the engine would panic; this asserts it does not).
+func TestQuickMarkingsNonNegative(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		gen := rng.New(seed)
+		model, _ := buildRandomModel(gen)
+		s := NewSim(model, rng.New(seed))
+		s.Run(20, nil)
+		for _, p := range model.Places() {
+			if s.Marking().Get(p) < 0 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDeterminism: identical seeds give identical trajectories.
+func TestQuickDeterminism(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		gen := rng.New(seed)
+		model, done := buildRandomModel(gen)
+		run := func() (float64, uint64) {
+			s := NewSim(model, rng.New(seed))
+			at, _ := s.Run(30, func(mk *Marking) bool { return mk.Get(done) >= 10 })
+			return at, s.Fired()
+		}
+		t1, f1 := run()
+		t2, f2 := run()
+		return t1 == t2 && f1 == f2
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,311 @@
+package san
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ctsan/internal/des"
+	"ctsan/internal/rng"
+)
+
+// Sim executes one stochastic realization of a SAN model. Create it with
+// NewSim, then call Run (or Step). The same Model may back many Sims.
+//
+// The simulator re-evaluates an activity's enabling only when a place it
+// depends on (default input arcs plus declared gate Reads) changes marking.
+// This makes event cost proportional to the local fan-out of the firing
+// rather than to model size — essential for the paper's consensus model,
+// whose joined submodels have hundreds of activities. SetFullRescan
+// disables the optimization for differential testing.
+type Sim struct {
+	model   *Model
+	marking Marking
+	sim     des.Sim
+	rand    *rng.Stream
+	onFire  func(a *Activity, caseIdx int)
+	fired   uint64
+
+	armed   []des.Handle // per activity; meaningful when isArmed
+	isArmed []bool
+
+	deps       [][]int // place idx -> dependent activity idxs
+	pending    []int
+	inPending  []bool
+	instON     []bool // instantaneous activity currently enabled
+	numInstON  int
+	timedTouch []int // timed activities to (re)examine at the end of settle
+	inTouch    []bool
+
+	fullRescan bool
+	instLimit  int
+}
+
+// NewSim prepares a simulation of the model with the given random stream.
+// It panics if the model fails Validate; validate explicitly for a
+// recoverable error.
+func NewSim(m *Model, r *rng.Stream) *Sim {
+	root := m.rootModel()
+	if err := root.Validate(); err != nil {
+		panic(err)
+	}
+	nA := len(root.activities)
+	s := &Sim{
+		model:     root,
+		rand:      r,
+		armed:     make([]des.Handle, nA),
+		isArmed:   make([]bool, nA),
+		inPending: make([]bool, nA),
+		instON:    make([]bool, nA),
+		inTouch:   make([]bool, nA),
+		instLimit: 1_000_000,
+	}
+	s.marking = Marking{
+		m:    make([]int, len(root.places)),
+		arr:  make([][]float64, len(root.places)),
+		head: make([]int, len(root.places)),
+	}
+	for _, p := range root.places {
+		s.marking.m[p.idx] = p.initial
+		for k := 0; k < p.initial; k++ {
+			s.marking.arr[p.idx] = append(s.marking.arr[p.idx], 0)
+		}
+	}
+	// Build the place -> activities dependency index.
+	s.deps = make([][]int, len(root.places))
+	for _, a := range root.activities {
+		seen := make(map[int]bool)
+		add := func(p *Place) {
+			if !seen[p.idx] {
+				seen[p.idx] = true
+				s.deps[p.idx] = append(s.deps[p.idx], a.idx)
+			}
+		}
+		for _, p := range a.inputs {
+			add(p)
+		}
+		for _, g := range a.gates {
+			for _, p := range g.Reads {
+				add(p)
+			}
+		}
+	}
+	// Every activity starts pending.
+	for i := 0; i < nA; i++ {
+		s.pending = append(s.pending, i)
+		s.inPending[i] = true
+	}
+	return s
+}
+
+// SetFullRescan forces re-evaluation of every activity after every firing,
+// ignoring declared dependencies. Slow; used to validate gate Reads
+// declarations in tests.
+func (s *Sim) SetFullRescan(on bool) { s.fullRescan = on }
+
+// Marking exposes the live marking (for reward observation between events).
+func (s *Sim) Marking() *Marking { return &s.marking }
+
+// Now returns the current virtual time in milliseconds.
+func (s *Sim) Now() float64 { return s.sim.Now() }
+
+// Fired returns the number of activity completions so far.
+func (s *Sim) Fired() uint64 { return s.fired }
+
+// OnFire registers an observer invoked after every activity completion,
+// with the completed activity and chosen case index. Used for reward
+// variables ("impulse rewards" in SAN terminology).
+func (s *Sim) OnFire(fn func(a *Activity, caseIdx int)) { s.onFire = fn }
+
+// enqueue marks activity ai for re-evaluation.
+func (s *Sim) enqueue(ai int) {
+	if !s.inPending[ai] {
+		s.inPending[ai] = true
+		s.pending = append(s.pending, ai)
+	}
+}
+
+// drainDirty propagates marking writes into the pending set.
+func (s *Sim) drainDirty() {
+	if s.fullRescan {
+		s.marking.dirty = s.marking.dirty[:0]
+		for i := range s.model.activities {
+			s.enqueue(i)
+		}
+		return
+	}
+	for _, pi := range s.marking.dirty {
+		for _, ai := range s.deps[pi] {
+			s.enqueue(ai)
+		}
+	}
+	s.marking.dirty = s.marking.dirty[:0]
+}
+
+// refreshPending folds the pending set into the enabled-instantaneous set
+// and the touched-timed list.
+func (s *Sim) refreshPending() {
+	for _, ai := range s.pending {
+		s.inPending[ai] = false
+		a := s.model.activities[ai]
+		if a.timed {
+			if !s.inTouch[ai] {
+				s.inTouch[ai] = true
+				s.timedTouch = append(s.timedTouch, ai)
+			}
+			continue
+		}
+		on := a.enabled(&s.marking)
+		if on != s.instON[ai] {
+			s.instON[ai] = on
+			if on {
+				s.numInstON++
+			} else {
+				s.numInstON--
+			}
+		}
+	}
+	s.pending = s.pending[:0]
+}
+
+// settle completes enabled instantaneous activities (highest priority
+// first, creation order as tie-break) until none is enabled, then re-arms
+// timed activities to match the final marking.
+func (s *Sim) settle() {
+	s.drainDirty()
+	for iter := 0; ; iter++ {
+		if iter >= s.instLimit {
+			panic(fmt.Sprintf("san: instantaneous activity loop in model %q", s.model.name))
+		}
+		s.refreshPending()
+		if s.numInstON == 0 {
+			break
+		}
+		var best *Activity
+		bestKey := 0.0
+		for ai, on := range s.instON {
+			if !on {
+				continue
+			}
+			a := s.model.activities[ai]
+			key := math.Inf(-1)
+			if a.fifoKey != nil {
+				key = s.marking.OldestArrival(a.fifoKey)
+			}
+			if best == nil || a.priority > best.priority ||
+				(a.priority == best.priority && key < bestKey) {
+				best = a
+				bestKey = key
+			}
+		}
+		if best == nil {
+			break // stale count; repaired by refresh above
+		}
+		s.complete(best)
+		s.enqueue(best.idx)
+		s.drainDirty()
+	}
+	// Re-arm touched timed activities against the stable marking.
+	for _, ai := range s.timedTouch {
+		s.inTouch[ai] = false
+		a := s.model.activities[ai]
+		en := a.enabled(&s.marking)
+		switch {
+		case en && !s.isArmed[a.idx]:
+			d := a.delay(&s.marking).Sample(s.rand)
+			a := a // capture
+			s.isArmed[a.idx] = true
+			s.armed[a.idx] = s.sim.After(d, func() { s.fire(a) })
+		case !en && s.isArmed[a.idx]:
+			s.sim.Cancel(s.armed[a.idx])
+			s.isArmed[a.idx] = false
+		}
+	}
+	s.timedTouch = s.timedTouch[:0]
+}
+
+// fire handles the scheduled completion of a timed activity.
+func (s *Sim) fire(a *Activity) {
+	s.isArmed[a.idx] = false
+	s.enqueue(a.idx) // may need re-arming if still enabled afterwards
+	// The activity was continuously enabled since arming (we cancel on
+	// disable), but a same-timestamp event may have disabled it; re-check.
+	if !a.enabled(&s.marking) {
+		s.settle()
+		return
+	}
+	s.complete(a)
+	s.settle()
+}
+
+// complete applies the effect of an activity completion: input arcs and
+// gate functions, case selection, then output arcs and gate functions.
+func (s *Sim) complete(a *Activity) {
+	s.marking.now = s.sim.Now()
+	for _, p := range a.inputs {
+		s.marking.Add(p, -1)
+	}
+	for _, g := range a.gates {
+		if g.Fn != nil {
+			g.Fn(&s.marking)
+		}
+	}
+	caseIdx := 0
+	if len(a.cases) > 1 {
+		u := s.rand.Float64()
+		acc := 0.0
+		for i, c := range a.cases {
+			acc += c.p
+			if u < acc || i == len(a.cases)-1 {
+				caseIdx = i
+				break
+			}
+		}
+	}
+	if len(a.cases) > 0 {
+		c := a.cases[caseIdx]
+		for _, p := range c.outputs {
+			s.marking.Add(p, 1)
+		}
+		for _, g := range c.gates {
+			g.Fn(&s.marking)
+		}
+	}
+	s.fired++
+	if s.onFire != nil {
+		s.onFire(a, caseIdx)
+	}
+}
+
+// Run simulates until stop returns true (checked after each completion and
+// once before the first), no activity is enabled, or the virtual clock
+// exceeds tmax. It returns the stop time and whether stop was satisfied.
+func (s *Sim) Run(tmax float64, stop func(mk *Marking) bool) (t float64, stopped bool) {
+	s.settle()
+	if stop != nil && stop(&s.marking) {
+		return s.sim.Now(), true
+	}
+	for {
+		nt, ok := s.sim.PeekTime()
+		if !ok || nt > tmax {
+			return s.sim.Now(), false
+		}
+		s.sim.Step()
+		if stop != nil && stop(&s.marking) {
+			return s.sim.Now(), true
+		}
+	}
+}
+
+// EnabledActivities returns the names of currently enabled activities,
+// sorted; useful in tests and debugging.
+func (s *Sim) EnabledActivities() []string {
+	var names []string
+	for _, a := range s.model.activities {
+		if a.enabled(&s.marking) {
+			names = append(names, a.name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}

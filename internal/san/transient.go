@@ -1,0 +1,72 @@
+package san
+
+import (
+	"fmt"
+
+	"ctsan/internal/rng"
+	"ctsan/internal/stats"
+)
+
+// TransientSpec describes a replicated transient study: run Replicas
+// independent realizations of the model, each until Stop becomes true or
+// Tmax is reached, and record the stop time of each replica. This is the
+// "terminating simulation" solver the paper uses (§5: latency until the
+// first process decides).
+type TransientSpec struct {
+	Replicas int
+	Tmax     float64
+	// Stop is the absorbing condition, e.g. "a decide place is marked".
+	Stop func(mk *Marking) bool
+	// Measure, if non-nil, overrides the recorded value for a replica
+	// (default: the virtual stop time). It receives the final marking and
+	// stop time; return NaN to discard the replica.
+	Measure func(mk *Marking, t float64) float64
+}
+
+// TransientResult aggregates the per-replica measures.
+type TransientResult struct {
+	Acc       stats.Accumulator
+	Samples   []float64
+	Truncated int // replicas that hit Tmax without satisfying Stop
+}
+
+// ECDF returns the empirical CDF of the replica measures.
+func (r *TransientResult) ECDF() *stats.ECDF { return stats.NewECDF(r.Samples) }
+
+// Transient runs the replicated transient study. Each replica draws from a
+// child stream of r keyed by its index, so results are independent of
+// replica scheduling and reproducible. build is invoked once per replica to
+// construct a fresh model instance (models carry no run-time state, but the
+// builder pattern lets callers randomize structure or parameters per
+// replica if desired).
+func Transient(build func() *Model, r *rng.Stream, spec TransientSpec) (*TransientResult, error) {
+	if spec.Replicas <= 0 {
+		return nil, fmt.Errorf("san: transient study needs at least 1 replica, got %d", spec.Replicas)
+	}
+	if spec.Stop == nil {
+		return nil, fmt.Errorf("san: transient study needs a stop condition")
+	}
+	if spec.Tmax <= 0 {
+		return nil, fmt.Errorf("san: transient study needs a positive Tmax")
+	}
+	res := &TransientResult{Samples: make([]float64, 0, spec.Replicas)}
+	for i := 0; i < spec.Replicas; i++ {
+		m := build()
+		sim := NewSim(m, r.Child(uint64(i)))
+		t, stopped := sim.Run(spec.Tmax, spec.Stop)
+		if !stopped {
+			res.Truncated++
+			continue
+		}
+		v := t
+		if spec.Measure != nil {
+			v = spec.Measure(sim.Marking(), t)
+			if v != v { // NaN: discarded
+				continue
+			}
+		}
+		res.Acc.Add(v)
+		res.Samples = append(res.Samples, v)
+	}
+	return res, nil
+}

@@ -1,0 +1,34 @@
+package sanmodel
+
+import (
+	"math"
+
+	"ctsan/internal/rng"
+	"ctsan/internal/san"
+)
+
+// Simulate runs a replicated transient study of the model: each replica
+// executes one consensus until the first decision (§2.3's latency) or the
+// rounds guard trips. Replicas that abort or exceed tmax are discarded and
+// counted in the result's Truncated field.
+func Simulate(p Params, replicas int, tmax float64, seed uint64) (*san.TransientResult, error) {
+	model, err := Build(p)
+	if err != nil {
+		return nil, err
+	}
+	return san.Transient(
+		func() *san.Model { return model.SAN },
+		rng.New(seed^0x5a_0de1),
+		san.TransientSpec{
+			Replicas: replicas,
+			Tmax:     tmax,
+			Stop:     model.Done,
+			Measure: func(mk *san.Marking, t float64) float64 {
+				if mk.Get(model.Aborted) > 0 {
+					return math.NaN()
+				}
+				return t
+			},
+		},
+	)
+}

@@ -1,0 +1,238 @@
+package sanmodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ctsan/internal/rng"
+	"ctsan/internal/san"
+)
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(Params{N: 1}); err == nil {
+		t.Error("n=1 accepted")
+	}
+	p := DefaultParams(3)
+	p.TSend = 0
+	if _, err := Build(p); err == nil {
+		t.Error("zero t_send accepted")
+	}
+	p = DefaultParams(3)
+	p.NetUnicast = nil
+	if _, err := Build(p); err == nil {
+		t.Error("missing network distribution accepted")
+	}
+	p = DefaultParams(3)
+	p.Crashed = []int{1, 2}
+	if _, err := Build(p); err == nil {
+		t.Error("majority violation accepted")
+	}
+	p = DefaultParams(3)
+	p.Crashed = []int{9}
+	if _, err := Build(p); err == nil {
+		t.Error("out-of-range crash accepted")
+	}
+	if _, err := Build(DefaultParams(5)); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+}
+
+func TestClass1Decides(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 7} {
+		res, err := Simulate(DefaultParams(n), 50, 1e6, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Truncated != 0 {
+			t.Fatalf("n=%d: %d truncated replicas in a failure-free run", n, res.Truncated)
+		}
+		if res.Acc.Mean() <= 0 {
+			t.Fatalf("n=%d: non-positive latency", n)
+		}
+	}
+}
+
+func TestLatencyGrowsWithN(t *testing.T) {
+	means := map[int]float64{}
+	for _, n := range []int{3, 5, 7} {
+		res, err := Simulate(DefaultParams(n), 400, 1e6, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		means[n] = res.Acc.Mean()
+	}
+	if !(means[3] < means[5] && means[5] < means[7]) {
+		t.Fatalf("latency not increasing in n: %v (contention model broken)", means)
+	}
+}
+
+// TestTable1Directions asserts the §5.3 simulation findings: the
+// coordinator crash adds a round and increases latency; the participant
+// crash decreases it (broadcast is a single message, so even at n=3).
+func TestTable1Directions(t *testing.T) {
+	for _, n := range []int{3, 5} {
+		base, err := Simulate(DefaultParams(n), 600, 1e6, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pc := DefaultParams(n)
+		pc.Crashed = []int{1}
+		coord, err := Simulate(pc, 600, 1e6, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pp := DefaultParams(n)
+		pp.Crashed = []int{2}
+		part, err := Simulate(pp, 600, 1e6, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if coord.Acc.Mean() <= base.Acc.Mean() {
+			t.Errorf("n=%d: coordinator crash %.3f !> no crash %.3f", n, coord.Acc.Mean(), base.Acc.Mean())
+		}
+		if part.Acc.Mean() >= base.Acc.Mean() {
+			t.Errorf("n=%d: participant crash %.3f !< no crash %.3f (single-broadcast model, §5.3)", n, part.Acc.Mean(), base.Acc.Mean())
+		}
+	}
+}
+
+// TestCrashedNeverDecides: a crashed process's Decided place stays empty.
+func TestCrashedNeverDecides(t *testing.T) {
+	p := DefaultParams(3)
+	p.Crashed = []int{2}
+	model, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := san.NewSim(model.SAN, rng.New(4))
+	_, stopped := sim.Run(1e6, model.Done)
+	if !stopped {
+		t.Fatal("run did not decide")
+	}
+	if sim.Marking().Get(model.Decided[1]) != 0 {
+		t.Fatal("crashed process decided")
+	}
+	if sim.Marking().Get(model.Decided[0]) == 0 && sim.Marking().Get(model.Decided[2]) == 0 {
+		t.Fatal("no correct process decided")
+	}
+}
+
+// TestFDQoSMonotonicity: worse failure-detector QoS (smaller T_MR) must
+// not make consensus faster.
+func TestFDQoSMonotonicity(t *testing.T) {
+	lat := func(tmr float64) float64 {
+		p := DefaultParams(3)
+		if tmr > 0 {
+			p.FD = FDModel{TMR: tmr, TM: 2, Kind: FDExponential}
+		}
+		res, err := Simulate(p, 800, 1e6, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Acc.Mean()
+	}
+	clean := lat(0)
+	good := lat(500)
+	bad := lat(8)
+	if bad <= good*1.05 {
+		t.Fatalf("bad QoS latency %.3f not clearly above good QoS %.3f", bad, good)
+	}
+	if good < clean*0.9 {
+		t.Fatalf("good-QoS latency %.3f below failure-free %.3f", good, clean)
+	}
+}
+
+func TestFDKindsDiffer(t *testing.T) {
+	mean := func(kind FDDistKind) float64 {
+		p := DefaultParams(3)
+		p.FD = FDModel{TMR: 10, TM: 3, Kind: kind}
+		res, err := Simulate(p, 600, 1e6, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Acc.Mean()
+	}
+	det := mean(FDDeterministic)
+	exp := mean(FDExponential)
+	if det == exp {
+		t.Fatal("det and exp FD models produced identical means (suspicious)")
+	}
+}
+
+func TestInvalidFDPanics(t *testing.T) {
+	p := DefaultParams(3)
+	p.FD = FDModel{TMR: 5, TM: 9} // TM > TMR
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TM > TMR accepted")
+		}
+	}()
+	_, _ = Build(p)
+	model, _ := Build(p)
+	_ = model
+}
+
+// TestRoundsGuard: with all processes suspecting each other through an
+// impossible QoS, the guard must abort instead of running forever.
+func TestRoundsGuard(t *testing.T) {
+	p := DefaultParams(3)
+	p.FD = FDModel{TMR: 1.0, TM: 0.98, Kind: FDDeterministic} // almost always suspected
+	p.MaxRoundsGuard = 30
+	res, err := Simulate(p, 30, 1e5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated == 0 {
+		t.Log("note: no truncations; guard untested under this QoS")
+	}
+	// The run must terminate either way — reaching here is the assertion.
+}
+
+// TestDepTrackingMatchesFullRescan is the differential test for the
+// dependency-tracked simulator: the consensus model (hundreds of gated
+// activities) must behave identically with and without the optimization.
+func TestDepTrackingMatchesFullRescan(t *testing.T) {
+	p := DefaultParams(5)
+	p.FD = FDModel{TMR: 15, TM: 2, Kind: FDExponential}
+	model, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(full bool, seed uint64) (float64, uint64) {
+		sim := san.NewSim(model.SAN, rng.New(seed))
+		sim.SetFullRescan(full)
+		at, stopped := sim.Run(1e6, model.Done)
+		if !stopped {
+			t.Fatal("did not stop")
+		}
+		return at, sim.Fired()
+	}
+	for seed := uint64(1); seed <= 25; seed++ {
+		t1, f1 := run(false, seed)
+		t2, f2 := run(true, seed)
+		if math.Abs(t1-t2) > 1e-12 || f1 != f2 {
+			t.Fatalf("seed %d: optimized (%v, %d firings) != full rescan (%v, %d firings): missing gate Reads declaration",
+				seed, t1, f1, t2, f2)
+		}
+	}
+}
+
+func TestModelNaming(t *testing.T) {
+	model, err := Build(DefaultParams(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(model.SAN.Name(), "n3") {
+		t.Errorf("model name %q", model.SAN.Name())
+	}
+	if len(model.Decided) != 3 || len(model.RoundOf) != 3 {
+		t.Fatalf("handles: %d decided, %d rounds", len(model.Decided), len(model.RoundOf))
+	}
+}
+
+func TestBroadcastScaleGrows(t *testing.T) {
+	if !(broadcastScale(3) < broadcastScale(5) && broadcastScale(5) < broadcastScale(11)) {
+		t.Fatal("broadcast scale must grow with n (Fig. 6)")
+	}
+}

@@ -1,0 +1,238 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ctsan/internal/rng"
+)
+
+func TestAccumulatorAgainstNaive(t *testing.T) {
+	if err := quick.Check(func(seed uint64, k uint8) bool {
+		n := int(k%50) + 2
+		r := rng.New(seed)
+		xs := make([]float64, n)
+		var acc Accumulator
+		for i := range xs {
+			xs[i] = r.Normal(5, 3)
+			acc.Add(xs[i])
+		}
+		mean := 0.0
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(n)
+		varr := 0.0
+		for _, x := range xs {
+			varr += (x - mean) * (x - mean)
+		}
+		varr /= float64(n - 1)
+		return math.Abs(acc.Mean()-mean) < 1e-9*(1+math.Abs(mean)) &&
+			math.Abs(acc.Var()-varr) < 1e-6*(1+varr) &&
+			acc.N() == n
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccumulatorMinMax(t *testing.T) {
+	var a Accumulator
+	a.AddAll([]float64{3, -1, 7, 2})
+	if a.Min() != -1 || a.Max() != 7 {
+		t.Fatalf("min/max = %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.Var() != 0 || a.N() != 0 {
+		t.Fatal("zero-value accumulator not empty")
+	}
+	if !math.IsInf(a.CI(0.9), 1) {
+		t.Fatal("CI of empty accumulator should be +Inf")
+	}
+}
+
+// TestTQuantile checks the Student-t quantiles against standard table
+// values t_{0.95, df}.
+func TestTQuantile(t *testing.T) {
+	cases := []struct {
+		df   int
+		want float64
+	}{
+		{1, 6.3138}, {2, 2.9200}, {5, 2.0150}, {10, 1.8125},
+		{30, 1.6973}, {100, 1.6602}, {1000, 1.6464},
+	}
+	for _, c := range cases {
+		got := tQuantile(0.95, c.df)
+		if math.Abs(got-c.want) > 2e-3*c.want {
+			t.Errorf("t(0.95, %d) = %v, want %v", c.df, got, c.want)
+		}
+	}
+	if v := tQuantile(0.5, 7); v != 0 {
+		t.Errorf("median quantile = %v, want 0", v)
+	}
+	if v := tQuantile(0.05, 5); math.Abs(v+2.0150) > 5e-3 {
+		t.Errorf("t(0.05,5) = %v, want -2.015", v)
+	}
+}
+
+// TestCICoverage: a 90% CI computed from normal samples should contain the
+// true mean roughly 90% of the time.
+func TestCICoverage(t *testing.T) {
+	r := rng.New(12)
+	const trials = 800
+	hits := 0
+	for i := 0; i < trials; i++ {
+		var a Accumulator
+		for j := 0; j < 20; j++ {
+			a.Add(r.Normal(10, 4))
+		}
+		if math.Abs(a.Mean()-10) <= a.CI(0.90) {
+			hits++
+		}
+	}
+	cover := float64(hits) / trials
+	if cover < 0.86 || cover > 0.94 {
+		t.Errorf("90%% CI covered the mean in %.1f%% of trials", 100*cover)
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 3})
+	for _, c := range []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.75}, {3, 1}, {9, 1},
+	} {
+		if got := e.At(c.x); got != c.want {
+			t.Errorf("At(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if e.N() != 4 {
+		t.Errorf("N = %d", e.N())
+	}
+	if q := e.Quantile(0); q != 1 {
+		t.Errorf("q0 = %v", q)
+	}
+	if q := e.Quantile(1); q != 3 {
+		t.Errorf("q1 = %v", q)
+	}
+	if m := e.Mean(); m != 2 {
+		t.Errorf("mean = %v", m)
+	}
+}
+
+func TestECDFMonotone(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		xs := make([]float64, 30)
+		for i := range xs {
+			xs[i] = r.Normal(0, 1)
+		}
+		e := NewECDF(xs)
+		prev := -1.0
+		for x := -3.0; x <= 3; x += 0.1 {
+			p := e.At(x)
+			if p < prev || p < 0 || p > 1 {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestECDFQuantileInverse(t *testing.T) {
+	r := rng.New(77)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	e := NewECDF(xs)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		x := e.Quantile(q)
+		if p := e.At(x); math.Abs(p-q) > 0.02 {
+			t.Errorf("At(Quantile(%v)) = %v", q, p)
+		}
+	}
+}
+
+func TestECDFDoesNotAliasInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	e := NewECDF(xs)
+	if xs[0] != 3 {
+		t.Fatal("NewECDF sorted the caller's slice")
+	}
+	xs[0] = -100
+	if e.At(0) != 0 {
+		t.Fatal("ECDF aliases caller data")
+	}
+}
+
+func TestKSDistance(t *testing.T) {
+	a := NewECDF([]float64{1, 2, 3})
+	if d := KSDistance(a, a); d != 0 {
+		t.Errorf("KS(a,a) = %v", d)
+	}
+	b := NewECDF([]float64{11, 12, 13})
+	if d := KSDistance(a, b); d != 1 {
+		t.Errorf("KS of disjoint supports = %v, want 1", d)
+	}
+	// Symmetry.
+	c := NewECDF([]float64{1.5, 2.5, 3.5})
+	if d1, d2 := KSDistance(a, c), KSDistance(c, a); d1 != d2 {
+		t.Errorf("KS not symmetric: %v vs %v", d1, d2)
+	}
+}
+
+func TestGrid(t *testing.T) {
+	e := NewECDF([]float64{0, 1})
+	xs, ps := e.Grid(0, 2, 4)
+	if len(xs) != 5 || len(ps) != 5 {
+		t.Fatalf("grid sizes %d/%d", len(xs), len(ps))
+	}
+	if xs[0] != 0 || xs[4] != 2 || ps[4] != 1 {
+		t.Fatalf("grid endpoints wrong: %v %v", xs, ps)
+	}
+	if !sort.Float64sAreSorted(ps) {
+		t.Fatal("grid probabilities not monotone")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, v := range []float64{-1, 0.5, 3, 7, 11} {
+		h.Add(v)
+	}
+	if h.Total() != 5 {
+		t.Fatalf("total %d", h.Total())
+	}
+	if h.Counts[0] != 2 { // -1 clamped + 0.5
+		t.Errorf("bin 0 = %d, want 2", h.Counts[0])
+	}
+	if h.Counts[4] != 1 { // 11 clamped
+		t.Errorf("bin 4 = %d, want 1", h.Counts[4])
+	}
+	if f := h.Fraction(1); f != 0.2 {
+		t.Errorf("fraction(1) = %v", f)
+	}
+}
+
+func TestRegIncBeta(t *testing.T) {
+	// I_x(1,1) is the uniform CDF.
+	for _, x := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if got := regIncBeta(1, 1, x); math.Abs(got-x) > 1e-9 {
+			t.Errorf("I_%v(1,1) = %v", x, got)
+		}
+	}
+	// I_x(1/2,1/2) = 2/pi * asin(sqrt(x)).
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		want := 2 / math.Pi * math.Asin(math.Sqrt(x))
+		if got := regIncBeta(0.5, 0.5, x); math.Abs(got-want) > 1e-9 {
+			t.Errorf("I_%v(.5,.5) = %v, want %v", x, got, want)
+		}
+	}
+}
