@@ -8,6 +8,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -16,10 +17,11 @@ import (
 
 func main() {
 	var (
-		n     = flag.Int("n", 3, "number of processes")
-		execs = flag.Int("execs", 500, "consensus executions per timeout value")
-		grid  = flag.String("T", "1,2,3,5,7,10,14,20,30,40,70,100", "comma-separated timeout values in ms")
-		seed  = flag.Uint64("seed", 1, "root random seed")
+		n       = flag.Int("n", 3, "number of processes")
+		execs   = flag.Int("execs", 500, "consensus executions per timeout value")
+		grid    = flag.String("T", "1,2,3,5,7,10,14,20,30,40,70,100", "comma-separated timeout values in ms")
+		seed    = flag.Uint64("seed", 1, "root random seed")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines across timeout values (results are identical at any count)")
 	)
 	flag.Parse()
 
@@ -32,19 +34,24 @@ func main() {
 		}
 		ts = append(ts, v)
 	}
-	fmt.Printf("%8s %10s %10s %12s %10s %8s\n", "T [ms]", "T_MR [ms]", "T_M [ms]", "latency[ms]", "mf pairs", "aborted")
-	for _, T := range ts {
-		res, err := experiment.RunLatency(experiment.LatencySpec{
+	specs := make([]experiment.LatencySpec, len(ts))
+	for i, T := range ts {
+		specs[i] = experiment.LatencySpec{
 			N:          *n,
 			Executions: *execs,
 			Seed:       *seed,
 			FDMode:     experiment.FDHeartbeat,
 			TimeoutT:   T,
-		})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "fdqos: %v\n", err)
-			os.Exit(1)
 		}
+	}
+	results, err := experiment.RunLatencySweep(specs, *workers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fdqos: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%8s %10s %10s %12s %10s %8s\n", "T [ms]", "T_MR [ms]", "T_M [ms]", "latency[ms]", "mf pairs", "aborted")
+	for i, T := range ts {
+		res := results[i]
 		fmt.Printf("%8.1f %10.2f %10.2f %12.3f %7d/%-3d %8d\n",
 			T, res.QoS.TMR, res.QoS.TM, res.Acc.Mean(),
 			res.QoS.MistakeFree, res.QoS.Pairs, res.Aborted)

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	repro [-what all|fig6|fig7a|fig7b|table1|fig8|fig9a|fig9b]
-//	      [-fidelity quick|paper] [-scale k] [-seed s]
+//	      [-fidelity quick|paper] [-scale k] [-seed s] [-workers w]
 //
 // Output is plain text: one block per figure/table, with the paper's
 // reference values quoted in notes for comparison.
@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"ctsan/internal/experiment"
@@ -27,6 +28,7 @@ func main() {
 		fidelity = flag.String("fidelity", "quick", "experiment sizes: quick or paper (paper is slow)")
 		scale    = flag.Float64("scale", 1, "multiply workload sizes by this factor")
 		seed     = flag.Uint64("seed", 1, "root random seed")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for campaign points and replicas (results are identical at any count)")
 		quiet    = flag.Bool("q", false, "suppress progress output on stderr")
 		plot     = flag.Bool("plot", false, "append ASCII plots of the figures")
 	)
@@ -45,6 +47,7 @@ func main() {
 	if *scale != 1 {
 		f = f.Scale(*scale)
 	}
+	f.Workers = *workers
 	progress := func(s string) {
 		if !*quiet {
 			fmt.Fprintln(os.Stderr, s)

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"ctsan/internal/sanmodel"
 )
@@ -22,6 +23,7 @@ func main() {
 	var (
 		n        = flag.Int("n", 3, "number of processes")
 		replicas = flag.Int("replicas", 2000, "transient simulation replicas")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for replicas (results are identical at any count)")
 		crash    = flag.Int("crash", 0, "initially crashed process (0 = none)")
 		tsend    = flag.Float64("tsend", 0.025, "t_send = t_receive in ms (§5.1)")
 		tmr      = flag.Float64("tmr", 0, "FD mistake recurrence time T_MR in ms (0 = accurate FD)")
@@ -44,7 +46,7 @@ func main() {
 		}
 		p.FD = sanmodel.FDModel{TMR: *tmr, TM: *tm, Kind: kind}
 	}
-	res, err := sanmodel.Simulate(p, *replicas, 1e7, *seed)
+	res, err := sanmodel.SimulateWorkers(p, *replicas, 1e7, *seed, *workers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sanrun: %v\n", err)
 		os.Exit(1)

@@ -4,6 +4,14 @@
 // algorithm analyzed both by measurements on an emulated cluster and by
 // transient simulation of a Stochastic Activity Network model.
 //
+// The evaluation campaigns — thousands of Monte-Carlo replicas of the SAN
+// model and thousands of emulated consensus executions per figure — run on
+// a deterministic worker pool (internal/parallel): replicas and campaign
+// points fan out across the CPUs, yet every result is bit-identical at any
+// worker count because each work unit draws from a per-index child random
+// stream and results are folded in index order. See PERFORMANCE.md for the
+// scheme and the -workers flag of cmd/repro, cmd/sanrun, and cmd/fdqos.
+//
 // See README.md for the layout, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for the reproduced tables and figures. The benchmarks in
 // bench_test.go regenerate every evaluation artifact of the paper.

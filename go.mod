@@ -1,0 +1,3 @@
+module ctsan
+
+go 1.24

@@ -6,27 +6,41 @@
 // Time is a float64 number of milliseconds, matching the unit used
 // throughout the paper. Events scheduled at equal times fire in FIFO order
 // of scheduling, which keeps simulations deterministic.
+//
+// Event records are pooled on a per-Sim free list: once the pool is warm,
+// scheduling and firing events performs no heap allocation, which matters
+// for the Monte-Carlo campaigns that execute hundreds of millions of
+// events. Handles carry a generation number so that a handle to a fired or
+// cancelled event stays invalid even after its record is recycled.
 package des
 
 import "container/heap"
 
-// Event is a scheduled callback. The zero Handle is invalid.
+// event is a scheduled callback record. Records are recycled through the
+// owning Sim's free list; gen disambiguates incarnations.
 type event struct {
-	time   float64
-	seq    uint64 // tie-breaker: FIFO among equal times
-	fn     func()
-	index  int // heap index, -1 when popped/cancelled
-	cancel bool
+	time  float64
+	seq   uint64 // tie-breaker: FIFO among equal times
+	fn    func()
+	index int    // heap index, -1 when popped/cancelled
+	gen   uint64 // incremented on every recycle
 }
 
-// Handle identifies a scheduled event so it can be cancelled.
+// Handle identifies a scheduled event so it can be cancelled. The zero
+// Handle is invalid. A Handle refers to one incarnation of a (pooled)
+// event record: once the event fires or is cancelled, the handle goes
+// stale and all operations on it are no-ops.
 type Handle struct {
-	ev *event
+	ev  *event
+	gen uint64
 }
 
 // Valid reports whether the handle refers to a scheduled (not yet fired,
-// not cancelled) event.
-func (h Handle) Valid() bool { return h.ev != nil && h.ev.index >= 0 && !h.ev.cancel }
+// not cancelled) event. Firing and cancelling both retire the record with
+// a new generation, so a matching generation implies the event is queued.
+func (h Handle) Valid() bool {
+	return h.ev != nil && h.gen == h.ev.gen && h.ev.index >= 0
+}
 
 type eventHeap []*event
 
@@ -63,6 +77,7 @@ type Sim struct {
 	now    float64
 	seq    uint64
 	queue  eventHeap
+	free   []*event // recycled event records
 	nsteps uint64
 }
 
@@ -72,16 +87,37 @@ func (s *Sim) Now() float64 { return s.now }
 // Steps returns the number of events executed so far.
 func (s *Sim) Steps() uint64 { return s.nsteps }
 
+// alloc takes an event record off the free list, or allocates one.
+func (s *Sim) alloc() *event {
+	if n := len(s.free); n > 0 {
+		ev := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// release retires an event record to the free list, invalidating every
+// outstanding Handle to it by bumping the generation.
+func (s *Sim) release(ev *event) {
+	ev.fn = nil
+	ev.index = -1
+	ev.gen++
+	s.free = append(s.free, ev)
+}
+
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it always indicates a model bug.
 func (s *Sim) At(t float64, fn func()) Handle {
 	if t < s.now {
 		panic("des: scheduling event in the past")
 	}
-	ev := &event{time: t, seq: s.seq, fn: fn}
+	ev := s.alloc()
+	ev.time, ev.seq, ev.fn = t, s.seq, fn
 	s.seq++
 	heap.Push(&s.queue, ev)
-	return Handle{ev: ev}
+	return Handle{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d milliseconds from now.
@@ -95,13 +131,11 @@ func (s *Sim) After(d float64, fn func()) Handle {
 // Cancel prevents a scheduled event from firing. Cancelling an already
 // fired or cancelled event is a no-op.
 func (s *Sim) Cancel(h Handle) {
-	if h.ev == nil || h.ev.cancel {
+	if !h.Valid() {
 		return
 	}
-	h.ev.cancel = true
-	if h.ev.index >= 0 {
-		heap.Remove(&s.queue, h.ev.index)
-	}
+	heap.Remove(&s.queue, h.ev.index)
+	s.release(h.ev)
 }
 
 // Empty reports whether no events remain.
@@ -117,17 +151,18 @@ func (s *Sim) PeekTime() (t float64, ok bool) {
 
 // Step executes the next event. It reports whether an event was executed.
 func (s *Sim) Step() bool {
-	for len(s.queue) > 0 {
-		ev := heap.Pop(&s.queue).(*event)
-		if ev.cancel {
-			continue
-		}
-		s.now = ev.time
-		s.nsteps++
-		ev.fn()
-		return true
+	if len(s.queue) == 0 {
+		return false
 	}
-	return false
+	ev := heap.Pop(&s.queue).(*event)
+	s.now = ev.time
+	s.nsteps++
+	fn := ev.fn
+	// Release before running so fn can immediately reuse the record; the
+	// handle to this event is already stale either way.
+	s.release(ev)
+	fn()
+	return true
 }
 
 // Run executes events until the queue is empty or until stop returns true
@@ -155,4 +190,16 @@ func (s *Sim) RunUntil(tmax float64) {
 	if s.now < tmax {
 		s.now = tmax
 	}
+}
+
+// Reset returns the simulator to its initial state — time zero, empty
+// queue, zero counters — retaining the event pool and queue capacity so a
+// reused Sim schedules without allocating. Outstanding handles to pending
+// events are invalidated.
+func (s *Sim) Reset() {
+	for _, ev := range s.queue {
+		s.release(ev)
+	}
+	s.queue = s.queue[:0]
+	s.now, s.seq, s.nsteps = 0, 0, 0
 }

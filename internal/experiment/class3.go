@@ -2,8 +2,10 @@ package experiment
 
 import (
 	"fmt"
+	"sync"
 
 	"ctsan/internal/fd"
+	"ctsan/internal/parallel"
 	"ctsan/internal/sanmodel"
 	"ctsan/internal/stats"
 )
@@ -21,33 +23,50 @@ type Class3Point struct {
 
 // RunClass3 runs the §5.4 campaign: for every (n, T) in the fidelity's
 // grids, measure both the failure-detector QoS metrics and the consensus
-// latency over sequential executions. progress (may be nil) receives one
-// line per completed point.
+// latency over sequential executions. The grid points are independent
+// campaigns and run concurrently under f.Workers; the returned points are
+// in grid order regardless of worker count. progress (may be nil) receives
+// one line per point as it completes — in completion order, which under
+// parallelism need not be grid order.
 func RunClass3(f Fidelity, seed uint64, progress func(string)) ([]Class3Point, error) {
-	var out []Class3Point
+	type gridPoint struct {
+		n int
+		T float64
+	}
+	var grid []gridPoint
 	for _, n := range f.Ns {
 		for _, T := range f.TGrid {
-			res, err := RunLatency(LatencySpec{
-				N:          n,
-				Executions: f.QoSExecs,
-				Seed:       seed + uint64(n)*1000 + uint64(T*10),
-				FDMode:     FDHeartbeat,
-				TimeoutT:   T,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("class3 n=%d T=%g: %w", n, T, err)
-			}
-			pt := Class3Point{N: n, T: T, QoS: res.QoS, Aborted: res.Aborted}
-			if len(res.Latencies) > 0 {
-				pt.Mean = res.Acc.Mean()
-				pt.ECDF = res.ECDF()
-			}
-			out = append(out, pt)
-			if progress != nil {
-				progress(fmt.Sprintf("class3 n=%d T=%g: latency %.3f ms, %s, aborted=%d",
-					n, T, pt.Mean, pt.QoS, pt.Aborted))
-			}
+			grid = append(grid, gridPoint{n: n, T: T})
 		}
+	}
+	var progressMu sync.Mutex
+	out, err := parallel.Map(f.Workers, len(grid), func(_, i int) (Class3Point, error) {
+		n, T := grid[i].n, grid[i].T
+		res, err := RunLatency(LatencySpec{
+			N:          n,
+			Executions: f.QoSExecs,
+			Seed:       seed + uint64(n)*1000 + uint64(T*10),
+			FDMode:     FDHeartbeat,
+			TimeoutT:   T,
+		})
+		if err != nil {
+			return Class3Point{}, fmt.Errorf("class3 n=%d T=%g: %w", n, T, err)
+		}
+		pt := Class3Point{N: n, T: T, QoS: res.QoS, Aborted: res.Aborted}
+		if len(res.Latencies) > 0 {
+			pt.Mean = res.Acc.Mean()
+			pt.ECDF = res.ECDF()
+		}
+		if progress != nil {
+			progressMu.Lock()
+			progress(fmt.Sprintf("class3 n=%d T=%g: latency %.3f ms, %s, aborted=%d",
+				pt.N, pt.T, pt.Mean, pt.QoS, pt.Aborted))
+			progressMu.Unlock()
+		}
+		return pt, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -149,27 +168,44 @@ func Fig9b(points []Class3Point, f Fidelity, seed uint64) (*Figure, error) {
 		},
 	}
 	for _, n := range f.SimNs {
-		var xs []float64
-		var det, exp, meas []float64
+		var kept []Class3Point
 		for _, p := range points {
-			if p.N != n || p.ECDF == nil {
-				continue
+			if p.N == n && p.ECDF != nil {
+				kept = append(kept, p)
 			}
-			xs = append(xs, p.T)
-			meas = append(meas, p.Mean)
+		}
+		// One SAN simulation pair per retained grid point, all independent:
+		// fan them out and fold in point order.
+		type simPair struct{ det, exp float64 }
+		inner := innerWorkers(f.Workers, len(kept))
+		pairs, err := parallel.Map(f.Workers, len(kept), func(_, i int) (simPair, error) {
+			p := kept[i]
+			var out simPair
 			for _, kind := range []sanmodel.FDDistKind{sanmodel.FDDeterministic, sanmodel.FDExponential} {
 				sp := fits.SANParams(n, 0.025)
 				sp.FD = fdModelFromQoS(p.QoS, kind)
-				res, err := sanmodel.Simulate(sp, f.Replicas, 1e6, seed+uint64(n)*17+uint64(p.T))
+				res, err := sanmodel.SimulateWorkers(sp, f.Replicas, 1e6, seed+uint64(n)*17+uint64(p.T), inner)
 				if err != nil {
-					return nil, err
+					return simPair{}, err
 				}
 				if kind == sanmodel.FDDeterministic {
-					det = append(det, res.Acc.Mean())
+					out.det = res.Acc.Mean()
 				} else {
-					exp = append(exp, res.Acc.Mean())
+					out.exp = res.Acc.Mean()
 				}
 			}
+			return out, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var xs []float64
+		var det, exp, meas []float64
+		for i, p := range kept {
+			xs = append(xs, p.T)
+			meas = append(meas, p.Mean)
+			det = append(det, pairs[i].det)
+			exp = append(exp, pairs[i].exp)
 		}
 		fig.Series = append(fig.Series,
 			Series{Label: fmt.Sprintf("%d processes (sim., det.)", n), X: xs, Y: det},

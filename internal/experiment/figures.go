@@ -6,6 +6,7 @@ import (
 
 	"ctsan/internal/fit"
 	"ctsan/internal/neko"
+	"ctsan/internal/parallel"
 	"ctsan/internal/sanmodel"
 	"ctsan/internal/stats"
 )
@@ -23,6 +24,11 @@ type Fidelity struct {
 	TGrid        []float64 // failure-detection timeouts T for Figs. 8/9
 	TSendSweep   []float64 // Fig. 7b t_send values
 	CDFGridSteps int
+	// Workers caps the goroutines used for independent campaign points and
+	// Monte-Carlo replicas: 0 (or negative) means one per CPU, 1 forces
+	// serial execution. Every campaign is bit-identical at any worker
+	// count; see PERFORMANCE.md.
+	Workers int
 }
 
 // QuickFidelity returns a configuration small enough for tests/benches.
@@ -74,27 +80,38 @@ type Fits struct {
 }
 
 // MeasureFits reproduces §5.1: measure unicast and broadcast end-to-end
-// delays on the cluster and fit bi-modal uniform mixtures.
+// delays on the cluster and fit bi-modal uniform mixtures. The unicast and
+// per-n broadcast measurements are independent campaigns and run
+// concurrently under f.Workers.
 func MeasureFits(f Fidelity, seed uint64, ns []int) (*Fits, error) {
-	uni, err := MeasureDelays(DelaySpec{N: 3, Count: f.DelayProbes, Seed: seed})
+	type fitOut struct {
+		n int
+		b fit.Bimodal
+	}
+	// Index 0 is the unicast campaign; 1..len(ns) the broadcast ones.
+	fits, err := parallel.Map(f.Workers, len(ns)+1, func(_, i int) (fitOut, error) {
+		spec := DelaySpec{N: 3, Count: f.DelayProbes, Seed: seed}
+		n := 0
+		if i > 0 {
+			n = ns[i-1]
+			spec = DelaySpec{N: n, Count: f.DelayProbes, Broadcast: true, Seed: seed + uint64(n)}
+		}
+		samples, err := MeasureDelays(spec)
+		if err != nil {
+			return fitOut{}, err
+		}
+		b, err := fit.FitBimodal(samples)
+		if err != nil {
+			return fitOut{}, err
+		}
+		return fitOut{n: n, b: b}, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	fu, err := fit.FitBimodal(uni)
-	if err != nil {
-		return nil, err
-	}
-	out := &Fits{Unicast: fu, Broadcast: make(map[int]fit.Bimodal)}
-	for _, n := range ns {
-		bc, err := MeasureDelays(DelaySpec{N: n, Count: f.DelayProbes, Broadcast: true, Seed: seed + uint64(n)})
-		if err != nil {
-			return nil, err
-		}
-		fb, err := fit.FitBimodal(bc)
-		if err != nil {
-			return nil, err
-		}
-		out.Broadcast[n] = fb
+	out := &Fits{Unicast: fits[0].b, Broadcast: make(map[int]fit.Bimodal)}
+	for _, fo := range fits[1:] {
+		out.Broadcast[fo.n] = fo.b
 	}
 	return out, nil
 }
@@ -144,12 +161,16 @@ func Fig6(f Fidelity, seed uint64) (*Figure, *Fits, error) {
 		},
 	}
 	fig.Series = append(fig.Series, cdfSeries("unicast", stats.NewECDF(uni), 0.6, f.CDFGridSteps))
-	for _, n := range []int{3, 5} {
-		bc, err := MeasureDelays(DelaySpec{N: n, Count: f.DelayProbes, Broadcast: true, Seed: seed + uint64(n)})
-		if err != nil {
-			return nil, nil, err
-		}
-		fig.Series = append(fig.Series, cdfSeries(fmt.Sprintf("broadcast to %d", n), stats.NewECDF(bc), 0.6, f.CDFGridSteps))
+	bns := []int{3, 5}
+	bcs, err := parallel.Map(f.Workers, len(bns), func(_, i int) ([]float64, error) {
+		n := bns[i]
+		return MeasureDelays(DelaySpec{N: n, Count: f.DelayProbes, Broadcast: true, Seed: seed + uint64(n)})
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, n := range bns {
+		fig.Series = append(fig.Series, cdfSeries(fmt.Sprintf("broadcast to %d", n), stats.NewECDF(bcs[i]), 0.6, f.CDFGridSteps))
 		fig.Notes = append(fig.Notes, fmt.Sprintf("broadcast-to-%d fit: %s", n, fits.Broadcast[n]))
 	}
 	return fig, fits, nil
@@ -164,12 +185,17 @@ func Fig7a(f Fidelity, seed uint64) (*Figure, map[int]*LatencyResult, error) {
 		XLabel: "latency [ms]",
 		YLabel: "probability",
 	}
+	specs := make([]LatencySpec, len(f.Ns))
+	for i, n := range f.Ns {
+		specs[i] = LatencySpec{N: n, Executions: f.Executions, Seed: seed}
+	}
+	sweep, err := RunLatencySweep(specs, f.Workers)
+	if err != nil {
+		return nil, nil, err
+	}
 	results := make(map[int]*LatencyResult, len(f.Ns))
-	for _, n := range f.Ns {
-		res, err := RunLatency(LatencySpec{N: n, Executions: f.Executions, Seed: seed})
-		if err != nil {
-			return nil, nil, err
-		}
+	for i, n := range f.Ns {
+		res := sweep[i]
 		results[n] = res
 		fig.Series = append(fig.Series, cdfSeries(fmt.Sprintf("%d processes (meas.)", n), res.ECDF(), 6, f.CDFGridSteps))
 		fig.Notes = append(fig.Notes, fmt.Sprintf("n=%d mean latency %.3f ms ± %.3f (90%% CI; paper: %s ms)",
@@ -215,20 +241,36 @@ func Fig7b(f Fidelity, seed uint64) (*Figure, float64, error) {
 		XLabel: "latency [ms]",
 		YLabel: "probability",
 	}
-	bestT, bestKS := 0.0, math.Inf(1)
-	for _, ts := range f.TSendSweep {
+	// Each t_send value is an independent simulation campaign; sweep them
+	// concurrently and fold in sweep order so the figure (and the selected
+	// best t_send) is identical at any worker count.
+	type sweepOut struct {
+		e    *stats.ECDF
+		ks   float64
+		mean float64
+	}
+	inner := innerWorkers(f.Workers, len(f.TSendSweep))
+	sweep, err := parallel.Map(f.Workers, len(f.TSendSweep), func(_, i int) (sweepOut, error) {
+		ts := f.TSendSweep[i]
 		p := fits.SANParams(5, ts)
-		res, err := sanmodel.Simulate(p, f.Replicas, 1e6, seed+uint64(ts*1e4))
+		res, err := sanmodel.SimulateWorkers(p, f.Replicas, 1e6, seed+uint64(ts*1e4), inner)
 		if err != nil {
-			return nil, 0, err
+			return sweepOut{}, err
 		}
 		e := res.ECDF()
-		ks := stats.KSDistance(e, measECDF)
-		if ks < bestKS {
-			bestKS, bestT = ks, ts
+		return sweepOut{e: e, ks: stats.KSDistance(e, measECDF), mean: res.Acc.Mean()}, nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	bestT, bestKS := 0.0, math.Inf(1)
+	for i, ts := range f.TSendSweep {
+		out := sweep[i]
+		if out.ks < bestKS {
+			bestKS, bestT = out.ks, ts
 		}
-		fig.Series = append(fig.Series, cdfSeries(fmt.Sprintf("tsend = %g ms (sim.)", ts), e, 3.5, f.CDFGridSteps))
-		fig.Notes = append(fig.Notes, fmt.Sprintf("tsend=%g: mean %.3f ms, KS distance to measurement %.3f", ts, res.Acc.Mean(), ks))
+		fig.Series = append(fig.Series, cdfSeries(fmt.Sprintf("tsend = %g ms (sim.)", ts), out.e, 3.5, f.CDFGridSteps))
+		fig.Notes = append(fig.Notes, fmt.Sprintf("tsend=%g: mean %.3f ms, KS distance to measurement %.3f", ts, out.mean, out.ks))
 	}
 	fig.Series = append(fig.Series, cdfSeries("measured", measECDF, 3.5, f.CDFGridSteps))
 	fig.Notes = append(fig.Notes,
@@ -266,26 +308,51 @@ func Table1(f Fidelity, seed uint64) (*Table, error) {
 			t.Header = append(t.Header, fmt.Sprintf("n=%d sim.", n))
 		}
 	}
-	for _, sc := range scenarios {
-		row := []string{sc.name}
-		var simCrash []int
-		for _, id := range sc.crashed {
-			simCrash = append(simCrash, int(id))
-		}
+	// Every (scenario, n) cell is an independent measurement campaign plus
+	// an optional SAN simulation; run all of them concurrently and fold in
+	// table order.
+	type cellJob struct {
+		scenario int
+		n        int
+	}
+	var jobs []cellJob
+	for si := range scenarios {
 		for _, n := range f.Ns {
-			res, err := RunLatency(LatencySpec{N: n, Executions: f.Executions, Seed: seed, Crashed: sc.crashed})
+			jobs = append(jobs, cellJob{scenario: si, n: n})
+		}
+	}
+	inner := innerWorkers(f.Workers, len(jobs))
+	cells, err := parallel.Map(f.Workers, len(jobs), func(_, i int) ([]string, error) {
+		job := jobs[i]
+		sc := scenarios[job.scenario]
+		res, err := RunLatency(LatencySpec{N: job.n, Executions: f.Executions, Seed: seed, Crashed: sc.crashed})
+		if err != nil {
+			return nil, err
+		}
+		cell := []string{fmt.Sprintf("%.3f", res.Acc.Mean())}
+		if contains(f.SimNs, job.n) {
+			var simCrash []int
+			for _, id := range sc.crashed {
+				simCrash = append(simCrash, int(id))
+			}
+			p := fits.SANParams(job.n, 0.025)
+			p.Crashed = simCrash
+			sim, err := sanmodel.SimulateWorkers(p, f.Replicas, 1e6, seed+uint64(job.n), inner)
 			if err != nil {
 				return nil, err
 			}
-			row = append(row, fmt.Sprintf("%.3f", res.Acc.Mean()))
-			if contains(f.SimNs, n) {
-				p := fits.SANParams(n, 0.025)
-				p.Crashed = simCrash
-				sim, err := sanmodel.Simulate(p, f.Replicas, 1e6, seed+uint64(n))
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, fmt.Sprintf("%.3f", sim.Acc.Mean()))
+			cell = append(cell, fmt.Sprintf("%.3f", sim.Acc.Mean()))
+		}
+		return cell, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, sc := range scenarios {
+		row := []string{sc.name}
+		for i, job := range jobs {
+			if job.scenario == si {
+				row = append(row, cells[i]...)
 			}
 		}
 		t.Rows = append(t.Rows, row)

@@ -1,0 +1,100 @@
+package experiment
+
+import (
+	"testing"
+
+	"ctsan/internal/neko"
+	"ctsan/internal/sanmodel"
+)
+
+// TestLatencySweepDeterministicAcrossWorkers: the campaign-sweep results
+// must be byte-identical for any worker count — each campaign's randomness
+// derives only from its spec's seed, never from scheduling.
+func TestLatencySweepDeterministicAcrossWorkers(t *testing.T) {
+	specs := []LatencySpec{
+		{N: 3, Executions: 40, Seed: 7},
+		{N: 5, Executions: 40, Seed: 7},
+		{N: 3, Executions: 30, Seed: 9, FDMode: FDHeartbeat, TimeoutT: 10},
+		{N: 5, Executions: 25, Seed: 11, Crashed: []neko.ProcessID{1}},
+	}
+	ref, err := RunLatencySweep(specs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 8} {
+		got, err := RunLatencySweep(specs, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := range specs {
+			if len(got[s].Latencies) != len(ref[s].Latencies) {
+				t.Fatalf("workers=%d spec %d: %d latencies, want %d",
+					w, s, len(got[s].Latencies), len(ref[s].Latencies))
+			}
+			for i := range ref[s].Latencies {
+				if got[s].Latencies[i] != ref[s].Latencies[i] {
+					t.Fatalf("workers=%d spec %d: latency[%d] = %v, want %v (bit-exact)",
+						w, s, i, got[s].Latencies[i], ref[s].Latencies[i])
+				}
+				if got[s].Rounds[i] != ref[s].Rounds[i] {
+					t.Fatalf("workers=%d spec %d: round[%d] differs", w, s, i)
+				}
+			}
+			if got[s].Aborted != ref[s].Aborted || got[s].Texp != ref[s].Texp || got[s].Events != ref[s].Events {
+				t.Fatalf("workers=%d spec %d: campaign summary differs", w, s)
+			}
+		}
+	}
+}
+
+// TestClass3DeterministicAcrossWorkers covers the (n, T) grid fan-out.
+func TestClass3DeterministicAcrossWorkers(t *testing.T) {
+	f := QuickFidelity()
+	f.QoSExecs = 25
+	f.Ns = []int{3}
+	f.TGrid = []float64{5, 30}
+	run := func(workers int) []Class3Point {
+		f.Workers = workers
+		pts, err := RunClass3(f, 3, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pts
+	}
+	ref := run(1)
+	got := run(6)
+	if len(got) != len(ref) {
+		t.Fatalf("point counts differ: %d vs %d", len(got), len(ref))
+	}
+	for i := range ref {
+		if got[i].N != ref[i].N || got[i].T != ref[i].T ||
+			got[i].Mean != ref[i].Mean || got[i].Aborted != ref[i].Aborted ||
+			got[i].QoS != ref[i].QoS ||
+			(got[i].ECDF == nil) != (ref[i].ECDF == nil) ||
+			(got[i].ECDF != nil && got[i].ECDF.N() != ref[i].ECDF.N()) {
+			t.Fatalf("point %d differs across worker counts:\n got %+v\nwant %+v", i, got[i], ref[i])
+		}
+	}
+}
+
+// TestSimulateWorkersDeterministic pins the SAN-model entry point used by
+// Fig. 7(b), Table 1 and Fig. 9(b).
+func TestSimulateWorkersDeterministic(t *testing.T) {
+	p := sanmodel.DefaultParams(3)
+	ref, err := sanmodel.SimulateWorkers(p, 200, 1e6, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sanmodel.SimulateWorkers(p, 200, 1e6, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Samples) != len(ref.Samples) || got.Truncated != ref.Truncated {
+		t.Fatalf("shape differs: %d/%d vs %d/%d", len(got.Samples), got.Truncated, len(ref.Samples), ref.Truncated)
+	}
+	for i := range ref.Samples {
+		if got.Samples[i] != ref.Samples[i] {
+			t.Fatalf("sample %d = %v, want %v (bit-exact)", i, got.Samples[i], ref.Samples[i])
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package experiment
+
+import "ctsan/internal/parallel"
+
+// innerWorkers splits a worker budget between an outer fan-out over
+// `items` independent campaigns and the Monte-Carlo replicas inside each:
+// the product of outer and inner concurrency stays near the budget instead
+// of multiplying into budget² goroutines. With many campaign points the
+// inner simulations run serially; with few points the leftover budget goes
+// to their replicas.
+func innerWorkers(workers, items int) int {
+	w := parallel.Workers(workers)
+	if items < 1 {
+		items = 1
+	}
+	return (w + items - 1) / items
+}
+
+// RunLatencySweep runs independent latency campaigns — one per spec —
+// across at most `workers` goroutines (0 = one per CPU, 1 = serial) and
+// returns the results in spec order. Each campaign owns its cluster,
+// engines and random streams, all derived from its spec's Seed, so the
+// returned results are bit-identical to running the specs serially,
+// regardless of the worker count. This is the unit of parallelism for the
+// paper's measurement campaigns: the per-n sweeps of Fig. 7(a)/Table 1 and
+// the (n, T) grid of Figs. 8–9.
+func RunLatencySweep(specs []LatencySpec, workers int) ([]*LatencyResult, error) {
+	return parallel.Map(workers, len(specs), func(_, i int) (*LatencyResult, error) {
+		return RunLatency(specs[i])
+	})
+}

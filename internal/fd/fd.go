@@ -311,22 +311,31 @@ func EstimateQoS(h *History, texp float64, n int) QoS {
 	}
 	var out QoS
 	var sumTMR, sumTM float64
-	for _, st := range states {
-		out.Pairs++
-		if st.suspected {
-			st.suspTime += texp - st.suspSince
+	// Fold pairs in (p, q) order, not map order: float summation order must
+	// not depend on map iteration randomization, or identical campaigns
+	// would disagree in the last bit and break bit-exact reproducibility.
+	for p := neko.ProcessID(1); int(p) <= n; p++ {
+		for q := neko.ProcessID(1); int(q) <= n; q++ {
+			if p == q {
+				continue
+			}
+			st := states[pairKey{p, q}]
+			out.Pairs++
+			if st.suspected {
+				st.suspTime += texp - st.suspSince
+			}
+			transitions := st.nTS + st.nST
+			out.Transitions += transitions
+			if transitions == 0 {
+				out.MistakeFree++
+				sumTMR += 2 * texp
+				continue
+			}
+			tmr := 2 * texp / float64(transitions)
+			tm := tmr * st.suspTime / texp
+			sumTMR += tmr
+			sumTM += tm
 		}
-		transitions := st.nTS + st.nST
-		out.Transitions += transitions
-		if transitions == 0 {
-			out.MistakeFree++
-			sumTMR += 2 * texp
-			continue
-		}
-		tmr := 2 * texp / float64(transitions)
-		tm := tmr * st.suspTime / texp
-		sumTMR += tmr
-		sumTM += tm
 	}
 	if out.Pairs > 0 {
 		out.TMR = sumTMR / float64(out.Pairs)

@@ -120,21 +120,42 @@ func FitBimodal(samples []float64) (Bimodal, error) {
 		}
 		return worst
 	}
-	// Candidate splits: quantiles 20%..97%.
 	best := candidate(n / 2)
 	bestD := dist(best)
-	lo, hi := n/5, n*97/100
+	consider := func(k int) {
+		if k < 4 || k > n-4 {
+			return
+		}
+		b := candidate(k)
+		if d := dist(b); d < bestD {
+			best, bestD = b, d
+		}
+	}
+	// Candidate splits, two families. A quantile grid 2%..98% covers
+	// overlapping modes, but a grid point that misses a sharp cluster
+	// boundary by more than the 0.5% trim leaks stragglers into the wrong
+	// mode and stretches its uniform support across the gap — so the exact
+	// positions of the largest inter-sample gaps are offered as candidates
+	// too, which for well-separated modes contain the true boundary.
+	type gapSplit struct {
+		gap float64
+		k   int
+	}
+	gaps := make([]gapSplit, 0, n-1)
+	for k := 1; k < n; k++ {
+		gaps = append(gaps, gapSplit{gap: s[k] - s[k-1], k: k})
+	}
+	sort.Slice(gaps, func(i, j int) bool { return gaps[i].gap > gaps[j].gap })
+	for _, g := range gaps[:min(64, len(gaps))] {
+		consider(g.k)
+	}
+	lo, hi := n/50, n*98/100
 	step := (hi - lo) / 150
 	if step < 1 {
 		step = 1
 	}
 	for k := lo; k <= hi; k += step {
-		if k < 4 || k > n-4 {
-			continue
-		}
-		if b := candidate(k); dist(b) < bestD {
-			best, bestD = b, dist(b)
-		}
+		consider(k)
 	}
 	return best, nil
 }

@@ -1,0 +1,123 @@
+// Package parallel is a deterministic worker pool for embarrassingly
+// parallel simulation workloads: Monte-Carlo replicas, campaign points,
+// parameter sweeps. Work units are identified by index; results land in
+// index-order slots, so the outcome of a run is independent of how indices
+// are interleaved across workers. Combined with per-index random streams
+// (rng.Stream.Child), this yields bit-for-bit reproducible experiments at
+// any worker count.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: values <= 0 mean "one worker
+// per available CPU" (runtime.GOMAXPROCS(0)).
+func Workers(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(worker, i) for every i in [0, n), distributing indices
+// across at most Workers(workers) goroutines via an atomic work counter.
+// Two calls with the same worker value never overlap, so callers may keep
+// per-worker scratch state (a reusable simulator, a buffer) in a slice
+// indexed by worker without locking.
+//
+// When the resolved worker count is 1 — or n < 2 — everything runs inline
+// on the calling goroutine with worker == 0; this is the reference serial
+// path the parallel schedule must be indistinguishable from.
+//
+// If any fn returns an error, remaining indices may be skipped and the
+// error observed for the lowest index is returned. A panic in fn is
+// re-raised on the calling goroutine.
+func ForEach(workers, n int, fn func(worker, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+
+		mu       sync.Mutex
+		errIdx   = -1
+		firstErr error
+		panicked any
+		panicSet bool
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if errIdx < 0 || i < errIdx {
+			errIdx, firstErr = i, err
+		}
+		mu.Unlock()
+		failed.Store(true)
+	}
+	for wk := 0; wk < w; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if !panicSet {
+						panicSet, panicked = true, r
+					}
+					mu.Unlock()
+					failed.Store(true)
+				}
+			}()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(wk, i); err != nil {
+					fail(i, err)
+					return
+				}
+			}
+		}(wk)
+	}
+	wg.Wait()
+	if panicSet {
+		panic(panicked)
+	}
+	return firstErr
+}
+
+// Map runs fn for every index and collects the results in index order, so
+// the returned slice is identical for any worker count. On error the
+// partial results are discarded and the lowest-index error is returned.
+func Map[T any](workers, n int, fn func(worker, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(workers, n, func(w, i int) error {
+		v, err := fn(w, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,126 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Fatalf("Workers(3) = %d", Workers(3))
+	}
+	if Workers(0) < 1 || Workers(-2) < 1 {
+		t.Fatal("non-positive request must resolve to at least 1 worker")
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 7, 64} {
+		const n = 1000
+		var hits [n]atomic.Int32
+		if err := ForEach(w, n, func(_, i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d executed %d times", w, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachWorkerSlotsAreExclusive(t *testing.T) {
+	// Per-worker state must be mutable without synchronization: hammer a
+	// plain (non-atomic) counter per worker slot under the race detector.
+	const n, w = 2000, 8
+	counts := make([]int, w)
+	if err := ForEach(w, n, func(worker, _ int) error {
+		counts[worker]++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("worker counters sum to %d, want %d", total, n)
+	}
+}
+
+func TestForEachZeroAndNegativeN(t *testing.T) {
+	called := false
+	if err := ForEach(4, 0, func(_, _ int) error { called = true; return nil }); err != nil || called {
+		t.Fatal("n=0 must be a no-op")
+	}
+	if err := ForEach(4, -5, func(_, _ int) error { called = true; return nil }); err != nil || called {
+		t.Fatal("negative n must be a no-op")
+	}
+}
+
+func TestForEachError(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, w := range []int{1, 4} {
+		err := ForEach(w, 100, func(_, i int) error {
+			if i == 42 {
+				return fmt.Errorf("index %d: %w", i, sentinel)
+			}
+			return nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: error not propagated: %v", w, err)
+		}
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "kaboom" {
+			t.Fatalf("panic not re-raised on caller: %v", r)
+		}
+	}()
+	_ = ForEach(4, 100, func(_, i int) error {
+		if i == 13 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	t.Fatal("unreachable: panic expected")
+}
+
+func TestMapOrderIndependentOfWorkers(t *testing.T) {
+	square := func(_, i int) (int, error) { return i * i, nil }
+	ref, err := Map(1, 500, square)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 3, 16} {
+		got, err := Map(w, 500, square)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", w, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	out, err := Map(4, 10, func(_, i int) (int, error) {
+		if i >= 5 {
+			return 0, errors.New("bad")
+		}
+		return i, nil
+	})
+	if err == nil || out != nil {
+		t.Fatalf("Map error mishandled: %v %v", out, err)
+	}
+}

@@ -1,0 +1,142 @@
+package san
+
+import (
+	"testing"
+
+	"ctsan/internal/dist"
+	"ctsan/internal/rng"
+)
+
+// branching builds a model with instantaneous activities, cases, gates and
+// FIFO competition — every simulator feature Reset must restore.
+func branching() (*Model, *Place) {
+	m := NewModel("branching")
+	src := m.Place("src", 3)
+	q := m.Place("q", 0)
+	server := m.Place("server", 1)
+	busy := m.Place("busy", 0)
+	done := m.Place("done", 0)
+	lost := m.Place("lost", 0)
+	m.Timed("arrive", Fixed(dist.Exp(0.7))).Input(src).Output(q)
+	m.Instant("seize", 1).Input(q, server).FIFO(q).Output(busy)
+	serve := m.Timed("serve", Fixed(dist.U(0.5, 1.5))).Input(busy)
+	serve.Case(0.8).Output(server, done)
+	serve.Case(0.2).Output(server, lost)
+	return m, done
+}
+
+// TestResetEquivalentToNewSim: a reused, Reset Sim must replay the exact
+// trajectory a fresh NewSim produces from the same stream.
+func TestResetEquivalentToNewSim(t *testing.T) {
+	m, done := branching()
+	stop := func(mk *Marking) bool { return mk.Get(done)+mk.Get(m.Places()[5]) == 3 }
+	reused := NewSim(m, rng.New(999))
+	for seed := uint64(1); seed <= 50; seed++ {
+		fresh := NewSim(m, rng.New(seed))
+		ft, fstop := fresh.Run(1e6, stop)
+		reused.Reset(rng.New(seed))
+		rt, rstop := reused.Run(1e6, stop)
+		if ft != rt || fstop != rstop || fresh.Fired() != reused.Fired() {
+			t.Fatalf("seed %d: fresh (t=%v stop=%v fired=%d) != reset (t=%v stop=%v fired=%d)",
+				seed, ft, fstop, fresh.Fired(), rt, rstop, reused.Fired())
+		}
+		for i, p := range m.Places() {
+			if fresh.Marking().Get(p) != reused.Marking().Get(p) {
+				t.Fatalf("seed %d: final marking differs at place %d", seed, i)
+			}
+		}
+	}
+}
+
+// TestTransientDeterministicAcrossWorkers: the differential determinism
+// guarantee — for a fixed seed, the parallel engine produces byte-identical
+// samples to the serial reference (Workers: 1) at every worker count.
+func TestTransientDeterministicAcrossWorkers(t *testing.T) {
+	m, done := branching()
+	spec := func(workers int) TransientSpec {
+		return TransientSpec{
+			Replicas: 600,
+			Tmax:     3, // truncates some replicas, exercising that path too
+			Workers:  workers,
+			Stop:     func(mk *Marking) bool { return mk.Get(done) >= 2 },
+			Measure: func(mk *Marking, tt float64) float64 {
+				return tt + float64(mk.Get(done))
+			},
+		}
+	}
+	build := func() *Model { return m }
+	ref, err := Transient(build, rng.New(42), spec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Samples) == 0 || ref.Truncated == 0 {
+		t.Fatalf("weak reference: %d samples, %d truncated — tune the spec", len(ref.Samples), ref.Truncated)
+	}
+	for _, w := range []int{2, 8} {
+		got, err := Transient(build, rng.New(42), spec(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Truncated != ref.Truncated {
+			t.Fatalf("workers=%d: truncated %d, want %d", w, got.Truncated, ref.Truncated)
+		}
+		if len(got.Samples) != len(ref.Samples) {
+			t.Fatalf("workers=%d: %d samples, want %d", w, len(got.Samples), len(ref.Samples))
+		}
+		for i := range ref.Samples {
+			if got.Samples[i] != ref.Samples[i] {
+				t.Fatalf("workers=%d: sample %d = %v, want %v (bit-exact)", w, i, got.Samples[i], ref.Samples[i])
+			}
+		}
+		if got.Acc.Mean() != ref.Acc.Mean() || got.Acc.N() != ref.Acc.N() {
+			t.Fatalf("workers=%d: accumulator differs", w)
+		}
+	}
+}
+
+// TestTransientReplicaLoopAllocs: with a shared model and Sim reuse, the
+// per-replica steady state must stay allocation-lean. The bound is loose
+// (ECDF-free replica bodies still grow Samples), but catches regressions
+// to per-replica NewSim, which allocates the whole simulator state.
+func TestTransientReplicaLoopAllocs(t *testing.T) {
+	m, done := branching()
+	sim := NewSim(m, rng.New(1))
+	stop := func(mk *Marking) bool { return mk.Get(done) >= 1 }
+	// Warm up, then measure the Reset+Run replica body.
+	sim.Reset(rng.New(2))
+	sim.Run(1e6, stop)
+	seed := uint64(3)
+	if allocs := testing.AllocsPerRun(200, func() {
+		sim.Reset(rng.New(seed))
+		seed++
+		sim.Run(1e6, stop)
+	}); allocs > 2 {
+		t.Fatalf("replica loop allocates %.1f objects/op, want ~0", allocs)
+	}
+}
+
+// BenchmarkSimReset is the replica body with simulator reuse.
+func BenchmarkSimReset(b *testing.B) {
+	m, done := branching()
+	stop := func(mk *Marking) bool { return mk.Get(done) >= 1 }
+	sim := NewSim(m, rng.New(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Reset(rng.New(uint64(i) + 1))
+		sim.Run(1e6, stop)
+	}
+}
+
+// BenchmarkSimNewPerReplica is the pre-Reset baseline: a fresh simulator
+// per replica.
+func BenchmarkSimNewPerReplica(b *testing.B) {
+	m, done := branching()
+	stop := func(mk *Marking) bool { return mk.Get(done) >= 1 }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim := NewSim(m, rng.New(uint64(i)+1))
+		sim.Run(1e6, stop)
+	}
+}

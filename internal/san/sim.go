@@ -28,6 +28,7 @@ type Sim struct {
 
 	armed   []des.Handle // per activity; meaningful when isArmed
 	isArmed []bool
+	fireFns []func() // per activity; reused across armings and Resets
 
 	deps       [][]int // place idx -> dependent activity idxs
 	pending    []int
@@ -90,12 +91,53 @@ func NewSim(m *Model, r *rng.Stream) *Sim {
 			}
 		}
 	}
+	// One completion closure per activity, allocated once: arming an
+	// activity must not allocate in the steady state.
+	s.fireFns = make([]func(), nA)
+	for i, a := range root.activities {
+		a := a
+		s.fireFns[i] = func() { s.fire(a) }
+	}
 	// Every activity starts pending.
 	for i := 0; i < nA; i++ {
 		s.pending = append(s.pending, i)
 		s.inPending[i] = true
 	}
 	return s
+}
+
+// Reset returns the simulator to the model's initial marking with a fresh
+// random stream, reusing every internal allocation (marking arrays,
+// dependency index, event pool). It is observably equivalent to
+// NewSim(model, r) but allocation-free, which matters in Monte-Carlo
+// replica loops where a worker runs thousands of realizations. The OnFire
+// observer, full-rescan mode, and instantaneous-loop limit are preserved.
+func (s *Sim) Reset(r *rng.Stream) {
+	s.rand = r
+	s.fired = 0
+	s.sim.Reset()
+	mk := &s.marking
+	for _, p := range s.model.places {
+		i := p.idx
+		mk.m[i] = p.initial
+		mk.arr[i] = mk.arr[i][:0]
+		mk.head[i] = 0
+		for k := 0; k < p.initial; k++ {
+			mk.arr[i] = append(mk.arr[i], 0)
+		}
+	}
+	mk.dirty = mk.dirty[:0]
+	mk.now = 0
+	s.pending = s.pending[:0]
+	for i := range s.model.activities {
+		s.isArmed[i] = false
+		s.instON[i] = false
+		s.inTouch[i] = false
+		s.inPending[i] = true
+		s.pending = append(s.pending, i)
+	}
+	s.numInstON = 0
+	s.timedTouch = s.timedTouch[:0]
 }
 
 // SetFullRescan forces re-evaluation of every activity after every firing,
@@ -213,9 +255,8 @@ func (s *Sim) settle() {
 		switch {
 		case en && !s.isArmed[a.idx]:
 			d := a.delay(&s.marking).Sample(s.rand)
-			a := a // capture
 			s.isArmed[a.idx] = true
-			s.armed[a.idx] = s.sim.After(d, func() { s.fire(a) })
+			s.armed[a.idx] = s.sim.After(d, s.fireFns[a.idx])
 		case !en && s.isArmed[a.idx]:
 			s.sim.Cancel(s.armed[a.idx])
 			s.isArmed[a.idx] = false

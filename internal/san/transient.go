@@ -3,6 +3,7 @@ package san
 import (
 	"fmt"
 
+	"ctsan/internal/parallel"
 	"ctsan/internal/rng"
 	"ctsan/internal/stats"
 )
@@ -15,6 +16,12 @@ import (
 type TransientSpec struct {
 	Replicas int
 	Tmax     float64
+	// Workers caps the goroutines running replicas: 0 (or negative) means
+	// one per CPU, 1 forces the serial reference path. Results are
+	// bit-identical for every worker count: replica i always draws from
+	// the parent stream's Child(i), and per-replica outcomes are folded in
+	// replica order.
+	Workers int
 	// Stop is the absorbing condition, e.g. "a decide place is marked".
 	Stop func(mk *Marking) bool
 	// Measure, if non-nil, overrides the recorded value for a replica
@@ -33,12 +40,31 @@ type TransientResult struct {
 // ECDF returns the empirical CDF of the replica measures.
 func (r *TransientResult) ECDF() *stats.ECDF { return stats.NewECDF(r.Samples) }
 
-// Transient runs the replicated transient study. Each replica draws from a
-// child stream of r keyed by its index, so results are independent of
-// replica scheduling and reproducible. build is invoked once per replica to
-// construct a fresh model instance (models carry no run-time state, but the
-// builder pattern lets callers randomize structure or parameters per
+// replicaOutcome is one replica's contribution before the ordered fold.
+type replicaOutcome struct {
+	v         float64
+	kept      bool
+	truncated bool
+}
+
+// Transient runs the replicated transient study, fanning replicas across
+// Workers goroutines. Each replica draws from a child stream of r keyed by
+// its index, so results are independent of replica scheduling and
+// reproducible at any worker count. build is invoked once per replica to
+// construct a fresh model instance (models carry no run-time state, but
+// the builder pattern lets callers randomize structure or parameters per
 // replica if desired).
+//
+// With Workers != 1, build, Stop, and Measure are called concurrently and
+// must be safe for concurrent use. The common idioms are: return one
+// shared, fully built model from build and only read the passed Marking in
+// Stop/Measure (always safe — the simulator never mutates the model); or
+// build an independent model per replica from replica-local state. A
+// builder that mutates state shared with Stop/Measure requires Workers: 1.
+//
+// Workers whose build returns the same *Model for consecutive replicas
+// reuse one simulator via Sim.Reset, so the steady-state replica loop does
+// not allocate simulator state.
 func Transient(build func() *Model, r *rng.Stream, spec TransientSpec) (*TransientResult, error) {
 	if spec.Replicas <= 0 {
 		return nil, fmt.Errorf("san: transient study needs at least 1 replica, got %d", spec.Replicas)
@@ -49,24 +75,48 @@ func Transient(build func() *Model, r *rng.Stream, spec TransientSpec) (*Transie
 	if spec.Tmax <= 0 {
 		return nil, fmt.Errorf("san: transient study needs a positive Tmax")
 	}
-	res := &TransientResult{Samples: make([]float64, 0, spec.Replicas)}
-	for i := 0; i < spec.Replicas; i++ {
+	outs := make([]replicaOutcome, spec.Replicas)
+	sims := make([]*Sim, parallel.Workers(spec.Workers))
+	err := parallel.ForEach(spec.Workers, spec.Replicas, func(w, i int) error {
 		m := build()
-		sim := NewSim(m, r.Child(uint64(i)))
+		sim := sims[w]
+		if sim != nil && sim.model == m.rootModel() {
+			sim.Reset(r.Child(uint64(i)))
+		} else {
+			sim = NewSim(m, r.Child(uint64(i)))
+			sims[w] = sim
+		}
 		t, stopped := sim.Run(spec.Tmax, spec.Stop)
+		out := &outs[i]
 		if !stopped {
-			res.Truncated++
-			continue
+			out.truncated = true
+			return nil
 		}
 		v := t
 		if spec.Measure != nil {
 			v = spec.Measure(sim.Marking(), t)
 			if v != v { // NaN: discarded
-				continue
+				return nil
 			}
 		}
-		res.Acc.Add(v)
-		res.Samples = append(res.Samples, v)
+		out.v = v
+		out.kept = true
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Fold in replica order: the accumulator and sample list are then
+	// bit-identical to a serial run regardless of scheduling.
+	res := &TransientResult{Samples: make([]float64, 0, spec.Replicas)}
+	for i := range outs {
+		switch {
+		case outs[i].truncated:
+			res.Truncated++
+		case outs[i].kept:
+			res.Acc.Add(outs[i].v)
+			res.Samples = append(res.Samples, outs[i].v)
+		}
 	}
 	return res, nil
 }

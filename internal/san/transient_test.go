@@ -20,15 +20,11 @@ func expModel(mean float64) func() *Model {
 }
 
 func TestTransientEstimatesMean(t *testing.T) {
-	build := expModel(2)
-	var donePlace *Place
-	// The stop predicate needs the place of the *current* model; rebuild
-	// per replica and capture via closure.
-	res, err := Transient(func() *Model {
-		m := build()
-		donePlace = m.Places()[1]
-		return m
-	}, rng.New(3), TransientSpec{
+	// Build once and share: models carry no run-time state, so one
+	// instance can back every (possibly concurrent) replica.
+	m := expModel(2)()
+	donePlace := m.Places()[1]
+	res, err := Transient(func() *Model { return m }, rng.New(3), TransientSpec{
 		Replicas: 4000,
 		Tmax:     1e6,
 		Stop:     func(mk *Marking) bool { return mk.Get(donePlace) == 1 },
@@ -52,12 +48,9 @@ func TestTransientEstimatesMean(t *testing.T) {
 }
 
 func TestTransientTruncation(t *testing.T) {
-	var donePlace *Place
-	res, err := Transient(func() *Model {
-		m := expModel(10)()
-		donePlace = m.Places()[1]
-		return m
-	}, rng.New(3), TransientSpec{
+	m := expModel(10)()
+	donePlace := m.Places()[1]
+	res, err := Transient(func() *Model { return m }, rng.New(3), TransientSpec{
 		Replicas: 500,
 		Tmax:     1, // most replicas exceed this horizon
 		Stop:     func(mk *Marking) bool { return mk.Get(donePlace) == 1 },
@@ -71,12 +64,9 @@ func TestTransientTruncation(t *testing.T) {
 }
 
 func TestTransientMeasureDiscard(t *testing.T) {
-	var donePlace *Place
-	res, err := Transient(func() *Model {
-		m := expModel(1)()
-		donePlace = m.Places()[1]
-		return m
-	}, rng.New(3), TransientSpec{
+	m := expModel(1)()
+	donePlace := m.Places()[1]
+	res, err := Transient(func() *Model { return m }, rng.New(3), TransientSpec{
 		Replicas: 100,
 		Tmax:     1e6,
 		Stop:     func(mk *Marking) bool { return mk.Get(donePlace) == 1 },

@@ -10,8 +10,19 @@ import (
 // Simulate runs a replicated transient study of the model: each replica
 // executes one consensus until the first decision (§2.3's latency) or the
 // rounds guard trips. Replicas that abort or exceed tmax are discarded and
-// counted in the result's Truncated field.
+// counted in the result's Truncated field. Replicas run on one worker per
+// CPU; results are bit-identical at every worker count (see
+// SimulateWorkers).
 func Simulate(p Params, replicas int, tmax float64, seed uint64) (*san.TransientResult, error) {
+	return SimulateWorkers(p, replicas, tmax, seed, 0)
+}
+
+// SimulateWorkers is Simulate with an explicit worker count: 0 (or
+// negative) means one per CPU, 1 forces the serial reference path. The
+// model is built once and shared by every replica — it carries no run-time
+// state — and each replica draws from the seed stream's Child(replica), so
+// the returned samples are bit-identical for any worker count.
+func SimulateWorkers(p Params, replicas int, tmax float64, seed uint64, workers int) (*san.TransientResult, error) {
 	model, err := Build(p)
 	if err != nil {
 		return nil, err
@@ -22,6 +33,7 @@ func Simulate(p Params, replicas int, tmax float64, seed uint64) (*san.Transient
 		san.TransientSpec{
 			Replicas: replicas,
 			Tmax:     tmax,
+			Workers:  workers,
 			Stop:     model.Done,
 			Measure: func(mk *san.Marking, t float64) float64 {
 				if mk.Get(model.Aborted) > 0 {
