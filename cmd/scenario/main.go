@@ -1,0 +1,205 @@
+// Command scenario lists, describes, and runs declarative fault- and
+// workload-injection scenarios (internal/scenario) on the emulated
+// cluster.
+//
+//	scenario list
+//	scenario describe split-brain
+//	scenario run paper-baseline
+//	scenario run split-brain gc-storm -replicas 4 -workers 0 -json
+//	scenario run -spec my-scenario.json -execs 100
+//
+// run executes a scenario × replica campaign on the deterministic worker
+// pool: results are bit-identical at any -workers count for a given
+// -seed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"ctsan/internal/scenario"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "list":
+		list()
+	case "describe":
+		describe(os.Args[2:])
+	case "run":
+		run(os.Args[2:])
+	default:
+		fmt.Fprintf(os.Stderr, "scenario: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  scenario list                     show registered scenarios
+  scenario describe <name>...       show docs and timeline of scenarios
+  scenario run [flags] <name>...    run a scenario campaign
+  scenario run [flags] -spec f.json run a JSON-defined scenario
+run flags:
+  -replicas K  independent replicas per scenario (default 1)
+  -execs K     consensus executions per replica (default: per scenario)
+  -workers W   worker goroutines, 0 = one per CPU (results identical at any W)
+  -seed S      campaign root seed (default 1)
+  -json        emit reports as JSON instead of a table
+`)
+}
+
+func list() {
+	for _, name := range scenario.Names() {
+		s, err := scenario.Get(name)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%-18s n=%-2d execs=%-4d %s\n", name, s.N, s.Executions, firstSentence(s.Doc))
+	}
+}
+
+func describe(names []string) {
+	if len(names) == 0 {
+		fail(fmt.Errorf("describe: need at least one scenario name"))
+	}
+	for _, name := range names {
+		s, err := scenario.Get(name)
+		if err != nil {
+			fail(err)
+		}
+		fd := "perfect oracle"
+		if s.TimeoutT > 0 {
+			th := s.PeriodTh
+			if th == 0 {
+				th = 0.7 * s.TimeoutT
+			}
+			fd = fmt.Sprintf("heartbeat T=%g ms, Th=%g ms", s.TimeoutT, th)
+		}
+		fmt.Printf("%s\n  %s\n  n=%d, %d executions/replica, base gap %g ms, FD: %s\n",
+			s.Name, s.Doc, s.N, s.Executions, s.Gap, fd)
+		if len(s.InitialCrashed) > 0 {
+			fmt.Printf("  initially crashed: %v\n", s.InitialCrashed)
+		}
+		if len(s.Events) == 0 {
+			fmt.Printf("  timeline: (none)\n")
+			continue
+		}
+		fmt.Printf("  timeline:\n")
+		for _, e := range s.Events {
+			fmt.Printf("    t=%-7g %s\n", e.At, describeEvent(e))
+		}
+	}
+}
+
+func describeEvent(e scenario.Event) string {
+	switch e.Kind {
+	case scenario.KindCrash:
+		return fmt.Sprintf("crash p%d", e.P)
+	case scenario.KindRecover:
+		return fmt.Sprintf("recover p%d", e.P)
+	case scenario.KindPartition:
+		return fmt.Sprintf("partition %v", e.Groups)
+	case scenario.KindHeal:
+		return "heal partition"
+	case scenario.KindLink:
+		s := fmt.Sprintf("degrade link p%d→p%d loss=%g", e.From, e.To, e.Loss)
+		if e.Extra != nil {
+			s += fmt.Sprintf(" extra=%v", e.Extra)
+		}
+		if e.Until > 0 {
+			s += fmt.Sprintf(" until t=%g", e.Until)
+		}
+		return s
+	case scenario.KindLinkClear:
+		return fmt.Sprintf("clear link p%d→p%d", e.From, e.To)
+	case scenario.KindPauseStorm:
+		host := "all hosts"
+		if e.P != 0 {
+			host = fmt.Sprintf("p%d", e.P)
+		}
+		return fmt.Sprintf("pause storm on %s until t=%g (every %v, dur %v)", host, e.Until, e.Every, e.Dur)
+	case scenario.KindWorkload:
+		return fmt.Sprintf("workload phase %q: gap %g ms", e.Label, e.Gap)
+	}
+	return string(e.Kind)
+}
+
+func run(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	var (
+		replicas = fs.Int("replicas", 1, "independent replicas per scenario")
+		execs    = fs.Int("execs", 0, "consensus executions per replica (0 = per-scenario default)")
+		workers  = fs.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines across (scenario, replica) units")
+		seed     = fs.Uint64("seed", 1, "campaign root seed")
+		asJSON   = fs.Bool("json", false, "emit reports as JSON")
+		specFile = fs.String("spec", "", "path to a JSON scenario definition to run")
+	)
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	var scenarios []*scenario.Scenario
+	if *specFile != "" {
+		data, err := os.ReadFile(*specFile)
+		if err != nil {
+			fail(err)
+		}
+		s, err := scenario.LoadJSON(data)
+		if err != nil {
+			fail(err)
+		}
+		scenarios = append(scenarios, s)
+	}
+	for _, name := range fs.Args() {
+		s, err := scenario.Get(name)
+		if err != nil {
+			fail(err)
+		}
+		scenarios = append(scenarios, s)
+	}
+	if len(scenarios) == 0 {
+		fail(fmt.Errorf("run: need scenario names or -spec (known: %v)", scenario.Names()))
+	}
+	reports, err := scenario.RunCampaign(scenario.CampaignSpec{
+		Scenarios:  scenarios,
+		Replicas:   *replicas,
+		Executions: *execs,
+		Workers:    *workers,
+		Seed:       *seed,
+	})
+	if err != nil {
+		fail(err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fail(err)
+		}
+		return
+	}
+	scenario.ReportTable(reports).Fprint(os.Stdout)
+}
+
+// firstSentence truncates a doc string at its first sentence end.
+func firstSentence(doc string) string {
+	for i := 0; i+1 < len(doc); i++ {
+		if doc[i] == ':' || (doc[i] == '.' && doc[i+1] == ' ') {
+			return doc[:i]
+		}
+	}
+	return doc
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "scenario: %v\n", err)
+	os.Exit(1)
+}

@@ -7,15 +7,18 @@
 //	testbed -n 5 -execs 5000                 # class 1 (§5.2)
 //	testbed -n 5 -crash 1                    # class 2, coordinator crash
 //	testbed -n 5 -T 10 -execs 1000           # class 3, heartbeat FD (§5.4)
+//	testbed -scenario gc-storm -replicas 4   # named injection scenario
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"ctsan/internal/experiment"
 	"ctsan/internal/neko"
+	"ctsan/internal/scenario"
 )
 
 func main() {
@@ -27,11 +30,30 @@ func main() {
 		th         = flag.Float64("Th", 0, "heartbeat period in ms (0 = 0.7*T)")
 		gap        = flag.Float64("gap", 10, "separation between execution starts in ms (§4)")
 		seed       = flag.Uint64("seed", 1, "root random seed")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for modes that fan out (scenario campaigns); results are identical at any count")
+		scn        = flag.String("scenario", "", "run a named injection scenario from the registry (see cmd/scenario list) instead of a plain campaign")
+		replicas   = flag.Int("replicas", 1, "independent replicas of the scenario campaign")
 		throughput = flag.Bool("throughput", false, "chain executions back to back and report the decision rate (§6 extension)")
 		transient  = flag.Bool("transient", false, "crash -crash mid-campaign under a live heartbeat FD and report the latency transient (§6 extension)")
 	)
 	flag.Parse()
 
+	if *scn != "" {
+		// Scenarios fix their own cluster shape, FD, and workload; reject
+		// flags that would silently not apply.
+		override := 0
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "execs":
+				override = *execs
+			case "n", "T", "Th", "gap", "crash", "throughput", "transient":
+				fmt.Fprintf(os.Stderr, "testbed: -%s has no effect with -scenario (the scenario defines it)\n", f.Name)
+				os.Exit(2)
+			}
+		})
+		runScenario(*scn, override, *replicas, *workers, *seed)
+		return
+	}
 	if *throughput {
 		runThroughput(*n, *execs, *crash, *t, *seed)
 		return
@@ -70,6 +92,28 @@ func main() {
 		fmt.Printf("  failure detector QoS over T_exp=%.0f ms: %s\n", res.Texp, res.QoS)
 	}
 	fmt.Printf("  simulated %.0f ms of cluster time in %d events\n", res.Texp, res.Events)
+}
+
+// runScenario executes a named registry scenario as a replica campaign
+// on the worker pool.
+func runScenario(name string, execs, replicas, workers int, seed uint64) {
+	s, err := scenario.Get(name)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "testbed: %v\n", err)
+		os.Exit(1)
+	}
+	reports, err := scenario.RunCampaign(scenario.CampaignSpec{
+		Scenarios:  []*scenario.Scenario{s},
+		Replicas:   replicas,
+		Executions: execs,
+		Workers:    workers,
+		Seed:       seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "testbed: %v\n", err)
+		os.Exit(1)
+	}
+	scenario.ReportTable(reports).Fprint(os.Stdout)
 }
 
 // runThroughput executes the §6 throughput extension: consensus #(k+1)

@@ -10,7 +10,21 @@
 // points fan out across the CPUs, yet every result is bit-identical at any
 // worker count because each work unit draws from a per-index child random
 // stream and results are folded in index order. See PERFORMANCE.md for the
-// scheme and the -workers flag of cmd/repro, cmd/sanrun, and cmd/fdqos.
+// scheme and the -workers flag of cmd/repro, cmd/sanrun, cmd/fdqos, and
+// cmd/scenario.
+//
+// Above the emulator sits the declarative scenario layer
+// (internal/scenario): timelines of correlated adverse conditions —
+// process crashes and recoveries, network partitions and heals, per-link
+// loss and latency, whole-host pause storms, workload phases — built with
+// a fluent API or loaded from JSON, compiled into DES events against the
+// cluster (netsim.CrashAt/RecoverAt, the hub partition/link filter,
+// PauseAt, PhaseAt), and fanned as scenario × replica campaigns through
+// the worker pool. A registry of named built-ins (paper-baseline,
+// crash-n3-anomaly, rolling-crash, split-brain, gc-storm, burst-load,
+// flaky-link) is exposed by cmd/scenario (list, describe, run) and the
+// -scenario flag of cmd/testbed; reports carry latency percentiles,
+// ground-truthed wrong-suspicion rates, and decision throughput.
 //
 // See README.md for the layout, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for the reproduced tables and figures. The benchmarks in

@@ -161,22 +161,37 @@ type Cluster struct {
 	hubFree float64
 	// traceFn, if set, observes every message delivery (for tests).
 	traceFn func(m neko.Message, at float64)
+	// group[i] is process i's partition group; nil when unpartitioned.
+	// Frames between different groups are dropped at the hub boundary.
+	group []int
+	// links holds per-directed-link degradation rules (see SetLinkAt);
+	// nil until the first rule is installed.
+	links map[linkKey]linkRule
+	// linkRand draws loss and added-latency samples for link rules. It is
+	// a dedicated child stream, consumed only when a rule exists, so runs
+	// without link injections are bit-identical to pre-injection builds.
+	linkRand *rng.Stream
+	// phaseFns observe PhaseAt transitions (scenario workload hooks).
+	phaseFns []func(name string, at float64)
 }
 
 // host models one PC: a CPU with FIFO queueing, a scheduler with coarse
 // timers, pauses, a skewed clock, and the process running on it.
 type host struct {
-	c          *Cluster
-	id         neko.ProcessID
-	cpuFree    float64
-	clockOff   float64
-	gridPhase  float64
-	crashedAt  float64 // +Inf if never
-	stack      *neko.Stack
-	netRand    *rng.Stream
-	schedRand  *rng.Stream
-	pauseRand  *rng.Stream
-	pauseUntil float64
+	c         *Cluster
+	id        neko.ProcessID
+	cpuFree   float64
+	clockOff  float64
+	gridPhase float64
+	// down is the crash state, flipped by CrashAt/RecoverAt events at
+	// their scheduled instants. epoch counts crashes: timers armed before
+	// a crash carry the old epoch and never fire after it.
+	down      bool
+	epoch     uint64
+	stack     *neko.Stack
+	netRand   *rng.Stream
+	schedRand *rng.Stream
+	pauseRand *rng.Stream
 }
 
 // New creates a cluster from params, drawing all randomness from child
@@ -187,14 +202,13 @@ func New(params Params, r *rng.Stream) (*Cluster, error) {
 	}
 	def := DefaultParams(params.N)
 	fillDefaults(&params, def)
-	c := &Cluster{params: params, rand: r.Child(0xc1)}
+	c := &Cluster{params: params, rand: r.Child(0xc1), linkRand: r.Child(0x400)}
 	for i := 0; i < params.N; i++ {
 		id := neko.ProcessID(i + 1)
 		h := &host{
 			c:         c,
 			id:        id,
 			clockOff:  params.ClockSkew.Sample(c.rand),
-			crashedAt: math.Inf(1),
 			netRand:   r.Child(0x100 + uint64(i)),
 			schedRand: r.Child(0x200 + uint64(i)),
 			pauseRand: r.Child(0x300 + uint64(i)),
@@ -206,7 +220,7 @@ func New(params Params, r *rng.Stream) (*Cluster, error) {
 		if id < 1 || int(id) > params.N {
 			return nil, fmt.Errorf("netsim: crashed process %d out of range 1..%d", id, params.N)
 		}
-		c.hosts[id-1].crashedAt = 0
+		c.hosts[id-1].down = true
 	}
 	return c, nil
 }
@@ -299,7 +313,7 @@ func (c *Cluster) Start() {
 		if c.params.PauseEvery.Mean() > 0 {
 			h.scheduleNextPause()
 		}
-		if h.stack != nil && !h.crashed(0) {
+		if h.stack != nil && !h.down {
 			h := h
 			c.sim.At(0, func() { h.stack.Start() })
 		}
@@ -317,16 +331,34 @@ func (c *Cluster) StartAt(id neko.ProcessID, localT float64, fn func()) {
 		globalT = c.sim.Now()
 	}
 	c.sim.At(globalT, func() {
-		if h.crashed(c.sim.Now()) {
+		if h.down {
 			return
 		}
 		fn()
 	})
 }
 
-// CrashAt marks process id as crashed from global time t on: its timers
-// stop firing and inbound messages are dropped at delivery time.
-func (c *Cluster) CrashAt(id neko.ProcessID, t float64) { c.hostFor(id).crashedAt = t }
+// CrashAt schedules a crash of process id at global time t: from then on
+// its timers stop firing and inbound messages are dropped at delivery
+// time. A crashed process may be brought back with RecoverAt.
+func (c *Cluster) CrashAt(id neko.ProcessID, t float64) {
+	h := c.hostFor(id)
+	c.at(t, func() {
+		if !h.down {
+			h.down = true
+			h.epoch++
+		}
+	})
+}
+
+// at schedules fn at global time t, clamped to now (injection helpers may
+// be invoked mid-run with past instants).
+func (c *Cluster) at(t float64, fn func()) {
+	if t < c.sim.Now() {
+		t = c.sim.Now()
+	}
+	c.sim.At(t, fn)
+}
 
 // AtGlobal schedules fn at global simulated time t, independent of any
 // host (no scheduler lateness, unaffected by crashes). Experiment
@@ -348,8 +380,6 @@ func (c *Cluster) RunUntil(tmax float64) { c.sim.RunUntil(tmax) }
 func (c *Cluster) Steps() uint64 { return c.sim.Steps() }
 
 // --- host: CPU, pauses, scheduler ---
-
-func (h *host) crashed(at float64) bool { return at >= h.crashedAt }
 
 // reserveCPU reserves cost ms of CPU in FIFO order starting no earlier
 // than the current time, and schedules fn at the completion instant.
@@ -424,7 +454,7 @@ func (h *host) Send(m neko.Message) {
 	c := h.c
 	// A send to an already-crashed peer fails fast (TCP reset): it costs
 	// the sender the exception path and never reaches the medium.
-	if !c.params.CrashedConsumeWire && c.hostFor(m.To).crashed(c.sim.Now()) {
+	if !c.params.CrashedConsumeWire && c.hostFor(m.To).down {
 		h.reserveCPU(c.params.FailedSend.Sample(h.netRand), nil)
 		return
 	}
@@ -439,23 +469,44 @@ func (h *host) Send(m neko.Message) {
 		end := start + wire
 		c.hubFree = end
 		c.sim.At(end, func() {
-			// Step 5-6: receiving queue + CPU_j for t_receive.
-			dst := c.hostFor(m.To)
-			cost := c.params.TReceive.Sample(dst.netRand)
-			if c.params.TailProb > 0 && dst.netRand.Float64() < c.params.TailProb {
-				cost += c.params.Tail.Sample(dst.netRand)
+			// Hub boundary: the frame has consumed sender CPU and medium
+			// time; partition and per-link degradation rules apply here.
+			if c.partitioned(m.From, m.To) {
+				return
 			}
-			dst.reserveCPU(cost, func() {
-				// Step 7: the message is received by p_j.
-				if dst.crashed(c.sim.Now()) || dst.stack == nil {
+			extra := 0.0
+			if rule, ok := c.links[linkKey{m.From, m.To}]; ok {
+				if rule.Loss > 0 && c.linkRand.Float64() < rule.Loss {
 					return
 				}
-				c.delivered++
-				if c.traceFn != nil {
-					c.traceFn(m, c.sim.Now())
+				if rule.ExtraDelay != nil {
+					extra = rule.ExtraDelay.Sample(c.linkRand)
 				}
-				dst.stack.Dispatch(m)
-			})
+			}
+			deliver := func() {
+				// Step 5-6: receiving queue + CPU_j for t_receive.
+				dst := c.hostFor(m.To)
+				cost := c.params.TReceive.Sample(dst.netRand)
+				if c.params.TailProb > 0 && dst.netRand.Float64() < c.params.TailProb {
+					cost += c.params.Tail.Sample(dst.netRand)
+				}
+				dst.reserveCPU(cost, func() {
+					// Step 7: the message is received by p_j.
+					if dst.down || dst.stack == nil {
+						return
+					}
+					c.delivered++
+					if c.traceFn != nil {
+						c.traceFn(m, c.sim.Now())
+					}
+					dst.stack.Dispatch(m)
+				})
+			}
+			if extra > 0 {
+				c.sim.At(c.sim.Now()+extra, deliver)
+			} else {
+				deliver()
+			}
 		})
 	})
 }
@@ -464,6 +515,7 @@ func (h *host) Send(m neko.Message) {
 type simTimer struct {
 	h       *host
 	handle  des.Handle
+	epoch   uint64
 	stopped bool
 }
 
@@ -474,18 +526,20 @@ func (t *simTimer) Stop() {
 }
 
 // SetTimer implements neko.Context. The callback is subject to scheduler
-// lateness and runs through the host CPU queue (so pauses defer it).
+// lateness and runs through the host CPU queue (so pauses defer it). A
+// timer armed before a crash never fires, even if the host has recovered
+// by its due time (crashes wipe the process's pending timers).
 func (h *host) SetTimer(d float64, fn func()) neko.TimerHandle {
 	if d < 0 {
 		d = 0
 	}
 	ideal := h.c.sim.Now() + d
-	t := &simTimer{h: h}
+	t := &simTimer{h: h, epoch: h.epoch}
 	t.handle = h.c.sim.At(ideal+h.wakeLateness(ideal), func() {
 		// Wake-up: needs the CPU (zero cost, but FIFO behind pauses and
 		// in-flight receive processing).
 		h.reserveCPU(0, func() {
-			if t.stopped || h.crashed(h.c.sim.Now()) {
+			if t.stopped || h.down || t.epoch != h.epoch {
 				return
 			}
 			fn()

@@ -1,0 +1,163 @@
+package scenario
+
+import (
+	"fmt"
+
+	"ctsan/internal/experiment"
+	"ctsan/internal/parallel"
+	"ctsan/internal/rng"
+	"ctsan/internal/stats"
+)
+
+// CampaignSpec fans a scenario × replica grid across the worker pool.
+type CampaignSpec struct {
+	Scenarios []*Scenario
+	// Replicas is the number of independent replicas per scenario
+	// (default 1). Replica r of scenario s draws from a child stream
+	// keyed by the flat grid index, so the campaign is bit-identical at
+	// any worker count.
+	Replicas int
+	// Executions overrides every scenario's per-replica execution count
+	// (0 keeps each scenario's own default).
+	Executions int
+	// Workers caps the goroutines (<= 0: one per CPU, 1: serial).
+	Workers int
+	// Seed is the campaign root seed.
+	Seed uint64
+	// MaxRounds / Deadline pass through to RunConfig (0 = defaults).
+	MaxRounds int
+	Deadline  float64
+}
+
+// Report aggregates all replicas of one scenario.
+type Report struct {
+	Scenario string `json:"scenario"`
+	Doc      string `json:"doc,omitempty"`
+	Replicas int    `json:"replicas"`
+	// Decided / Aborted count executions across all replicas.
+	Decided int `json:"decided"`
+	Aborted int `json:"aborted"`
+	// Latency percentiles and moments over all decided executions, ms.
+	Mean float64 `json:"mean_ms"`
+	CI90 float64 `json:"ci90_ms"`
+	P50  float64 `json:"p50_ms"`
+	P90  float64 `json:"p90_ms"`
+	P99  float64 `json:"p99_ms"`
+	Max  float64 `json:"max_ms"`
+	// DecisionsPerSec is the decision throughput over total simulated
+	// time; Texp that total time (ms).
+	DecisionsPerSec float64 `json:"decisions_per_sec"`
+	Texp            float64 `json:"texp_ms"`
+	// Suspicion accounting across replicas: total trust→suspect
+	// transitions, how many were wrong (subject was up), and the wrong
+	// rate per second of simulated time.
+	Suspicions      int     `json:"suspicions"`
+	WrongSuspicions int     `json:"wrong_suspicions"`
+	WrongSuspPerSec float64 `json:"wrong_susp_per_sec"`
+	// TMR / TM are the mean Chen et al. QoS metrics across replicas
+	// (heartbeat scenarios; 0 otherwise).
+	TMR float64 `json:"tmr_ms,omitempty"`
+	TM  float64 `json:"tm_ms,omitempty"`
+	// DESEvents is the total discrete-event count (cost metric).
+	DESEvents uint64 `json:"des_events"`
+
+	// Acc holds the merged latency moments for programmatic use.
+	Acc stats.Accumulator `json:"-"`
+}
+
+// RunCampaign executes every (scenario, replica) pair of the grid on the
+// deterministic worker pool and folds per-scenario reports in grid order.
+// Results are bit-identical at any worker count: each pair owns a child
+// random stream keyed by its flat index, and the fold is serial.
+func RunCampaign(spec CampaignSpec) ([]*Report, error) {
+	if len(spec.Scenarios) == 0 {
+		return nil, fmt.Errorf("scenario: campaign with no scenarios")
+	}
+	if spec.Replicas == 0 {
+		spec.Replicas = 1
+	}
+	if spec.Replicas < 1 {
+		return nil, fmt.Errorf("scenario: need at least 1 replica, got %d", spec.Replicas)
+	}
+	for _, s := range spec.Scenarios {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	seeds := rng.New(spec.Seed ^ 0xca3faa16)
+	units := len(spec.Scenarios) * spec.Replicas
+	results, err := parallel.Map(spec.Workers, units, func(_, i int) (*Result, error) {
+		s := spec.Scenarios[i/spec.Replicas]
+		return Run(s, RunConfig{
+			Executions: spec.Executions,
+			Seed:       seeds.Child(uint64(i)).Uint64(),
+			MaxRounds:  spec.MaxRounds,
+			Deadline:   spec.Deadline,
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	reports := make([]*Report, len(spec.Scenarios))
+	for si, s := range spec.Scenarios {
+		rep := &Report{Scenario: s.Name, Doc: s.Doc, Replicas: spec.Replicas}
+		var all []float64
+		var tmr, tm float64
+		for ri := 0; ri < spec.Replicas; ri++ {
+			res := results[si*spec.Replicas+ri]
+			rep.Acc.AddAll(res.Latencies)
+			all = append(all, res.Latencies...)
+			rep.Decided += res.Decided
+			rep.Aborted += res.Aborted
+			rep.Texp += res.Texp
+			rep.Suspicions += res.Suspicions
+			rep.WrongSuspicions += res.WrongSuspicions
+			rep.DESEvents += res.Events
+			tmr += res.QoS.TMR
+			tm += res.QoS.TM
+		}
+		e := stats.NewECDF(all)
+		rep.Mean = rep.Acc.Mean()
+		rep.CI90 = rep.Acc.CI(0.90)
+		rep.P50 = e.Quantile(0.50)
+		rep.P90 = e.Quantile(0.90)
+		rep.P99 = e.Quantile(0.99)
+		rep.Max = rep.Acc.Max()
+		if rep.Texp > 0 {
+			rep.DecisionsPerSec = float64(rep.Decided) / rep.Texp * 1000
+			rep.WrongSuspPerSec = float64(rep.WrongSuspicions) / rep.Texp * 1000
+		}
+		if s.TimeoutT > 0 {
+			rep.TMR = tmr / float64(spec.Replicas)
+			rep.TM = tm / float64(spec.Replicas)
+		}
+		reports[si] = rep
+	}
+	return reports, nil
+}
+
+// ReportTable renders campaign reports as an aligned text table using the
+// experiment report machinery.
+func ReportTable(reports []*Report) *experiment.Table {
+	t := &experiment.Table{
+		ID:    "SCENARIO",
+		Title: "scenario campaign: latency, wrong suspicions, decision throughput",
+		Header: []string{"scenario", "decided", "aborted", "mean[ms]", "p50", "p90", "p99",
+			"dec/s", "wrong-susp", "wrong/s"},
+	}
+	for _, r := range reports {
+		t.Rows = append(t.Rows, []string{
+			r.Scenario,
+			fmt.Sprintf("%d", r.Decided),
+			fmt.Sprintf("%d", r.Aborted),
+			fmt.Sprintf("%.3f", r.Mean),
+			fmt.Sprintf("%.3f", r.P50),
+			fmt.Sprintf("%.3f", r.P90),
+			fmt.Sprintf("%.3f", r.P99),
+			fmt.Sprintf("%.1f", r.DecisionsPerSec),
+			fmt.Sprintf("%d/%d", r.WrongSuspicions, r.Suspicions),
+			fmt.Sprintf("%.2f", r.WrongSuspPerSec),
+		})
+	}
+	return t
+}

@@ -1,0 +1,162 @@
+package scenario
+
+import (
+	"math"
+	"sort"
+
+	"ctsan/internal/neko"
+	"ctsan/internal/netsim"
+	"ctsan/internal/rng"
+)
+
+// interval is a half-open [from, to) span of global time.
+type interval struct{ from, to float64 }
+
+// Timeline is a scenario compiled against one cluster replica: every
+// injection is scheduled as a DES event, drawn instants are resolved, and
+// the resulting ground truth (who is down when, which workload phase is
+// in force) is queryable — the runner uses it to size execution quorums
+// and to classify failure-detector suspicions as right or wrong.
+type Timeline struct {
+	// down[p] holds p's crash intervals, sorted by start.
+	down map[neko.ProcessID][]interval
+	// phases is the workload schedule, sorted by time; phases[0] is the
+	// scenario's base gap at t = 0.
+	phases []phasePoint
+}
+
+type phasePoint struct {
+	at    float64
+	gap   float64
+	label string
+}
+
+// compile resolves drawn instants and schedules every event of s against
+// c. Randomness comes from per-event child streams of r (event i draws
+// from r.Child(i)), so adding draws to one event never perturbs another,
+// and compilation is deterministic in r for any event order. Validate
+// must have passed.
+func (s *Scenario) compile(c *netsim.Cluster, r *rng.Stream) (*Timeline, error) {
+	tl := &Timeline{
+		down:   make(map[neko.ProcessID][]interval),
+		phases: []phasePoint{{at: 0, gap: s.Gap, label: "base"}},
+	}
+	for _, p := range s.InitialCrashed {
+		tl.down[p] = append(tl.down[p], interval{0, math.Inf(1)})
+	}
+	// First pass: resolve instants and record ground truth.
+	type resolved struct {
+		ev Event
+		at float64
+		r  *rng.Stream
+	}
+	res := make([]resolved, len(s.Events))
+	for i, e := range s.Events {
+		er := r.Child(uint64(i))
+		at := e.At
+		if e.AtJitter != nil {
+			at += e.AtJitter.Sample(er)
+			if at < 0 {
+				at = 0
+			}
+		}
+		res[i] = resolved{ev: e, at: at, r: er}
+	}
+	// Crash/recover ground truth needs chronological pairing.
+	order := make([]int, len(res))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return res[order[a]].at < res[order[b]].at })
+	for _, i := range order {
+		e, at := res[i].ev, res[i].at
+		switch e.Kind {
+		case KindCrash:
+			ivs := tl.down[e.P]
+			if len(ivs) == 0 || !math.IsInf(ivs[len(ivs)-1].to, 1) {
+				tl.down[e.P] = append(ivs, interval{at, math.Inf(1)})
+			}
+		case KindRecover:
+			ivs := tl.down[e.P]
+			if len(ivs) > 0 && math.IsInf(ivs[len(ivs)-1].to, 1) && ivs[len(ivs)-1].from <= at {
+				ivs[len(ivs)-1].to = at
+			}
+		case KindWorkload:
+			tl.phases = append(tl.phases, phasePoint{at: at, gap: e.Gap, label: e.Label})
+		}
+	}
+	sort.SliceStable(tl.phases, func(a, b int) bool { return tl.phases[a].at < tl.phases[b].at })
+
+	// Second pass: schedule cluster events (original order; instants do
+	// the sequencing).
+	for _, rv := range res {
+		e, at := rv.ev, rv.at
+		switch e.Kind {
+		case KindCrash:
+			c.CrashAt(e.P, at)
+		case KindRecover:
+			c.RecoverAt(e.P, at)
+		case KindPartition:
+			if err := c.PartitionAt(at, e.Groups...); err != nil {
+				return nil, err
+			}
+		case KindHeal:
+			c.HealAt(at)
+		case KindLink:
+			// The window end is declarative: jitter that pushes the start
+			// past Until leaves an empty window, not a permanent rule.
+			if e.Until > 0 && at >= e.Until {
+				continue
+			}
+			if err := c.SetLinkAt(at, e.From, e.To, e.Extra, e.Loss); err != nil {
+				return nil, err
+			}
+			if e.Until > 0 {
+				c.ClearLinkAt(e.Until, e.From, e.To)
+			}
+		case KindLinkClear:
+			c.ClearLinkAt(at, e.From, e.To)
+		case KindPauseStorm:
+			hosts := []neko.ProcessID{e.P}
+			if e.P == 0 {
+				hosts = hosts[:0]
+				for p := neko.ProcessID(1); int(p) <= s.N; p++ {
+					hosts = append(hosts, p)
+				}
+			}
+			for _, p := range hosts {
+				for t := at + e.Every.Sample(rv.r); t < e.Until; t += e.Every.Sample(rv.r) {
+					c.PauseAt(p, t, e.Dur.Sample(rv.r))
+				}
+			}
+		case KindWorkload:
+			c.PhaseAt(at, e.Label)
+		}
+	}
+	return tl, nil
+}
+
+// UpAt reports whether process p is up (not crashed) at global time t.
+// Pauses and partitions do not count as down: a frozen or unreachable
+// process is still alive, which is exactly why suspecting it is a wrong
+// suspicion.
+func (tl *Timeline) UpAt(p neko.ProcessID, t float64) bool {
+	for _, iv := range tl.down[p] {
+		if t >= iv.from && t < iv.to {
+			return false
+		}
+	}
+	return true
+}
+
+// GapAt returns the execution gap in force at global time t.
+func (tl *Timeline) GapAt(t float64) float64 {
+	gap := tl.phases[0].gap
+	for _, ph := range tl.phases {
+		if ph.at > t {
+			break
+		}
+		gap = ph.gap
+	}
+	return gap
+}

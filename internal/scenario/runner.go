@@ -1,0 +1,287 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"ctsan/internal/consensus"
+	"ctsan/internal/fd"
+	"ctsan/internal/neko"
+	"ctsan/internal/netsim"
+	"ctsan/internal/rng"
+)
+
+// RunConfig tunes one replica of a scenario. The zero value takes the
+// scenario's own defaults.
+type RunConfig struct {
+	// Executions overrides the scenario's per-replica execution count.
+	Executions int
+	// Seed is the replica's root random seed.
+	Seed uint64
+	// MaxRounds aborts a consensus execution after this many rounds
+	// (0 = 256).
+	MaxRounds int
+	// Deadline force-closes an execution after this many ms (0 = 3·T+60
+	// under the heartbeat detector, 500 under the oracle) so that
+	// partitions and crashes cannot hang a campaign.
+	Deadline float64
+}
+
+// Result is the outcome of one scenario replica.
+type Result struct {
+	// Latencies holds the first-decision latency of every decided
+	// execution, in execution order; Rounds the deciding rounds.
+	Latencies []float64
+	Rounds    []int
+	// Decided and Aborted partition the executions.
+	Decided, Aborted int
+	// Texp is the experiment duration (global ms); Events the DES events
+	// executed.
+	Texp   float64
+	Events uint64
+	// QoS holds the Chen et al. failure-detector metrics (heartbeat
+	// scenarios only).
+	QoS fd.QoS
+	// Suspicions counts trust→suspect transitions across all observer
+	// pairs; WrongSuspicions those whose subject was in fact up — the
+	// paper's wrong suspicions (§5.4), here ground-truthed against the
+	// scenario timeline.
+	Suspicions, WrongSuspicions int
+}
+
+// DecisionsPerSec returns the decision throughput of the replica.
+func (r *Result) DecisionsPerSec() float64 {
+	if r.Texp <= 0 {
+		return 0
+	}
+	return float64(r.Decided) / r.Texp * 1000
+}
+
+// runner drives one replica: sequential consensus executions whose start
+// gap follows the scenario's workload phases, against a cluster with the
+// scenario's timeline injected.
+type runner struct {
+	s        *Scenario
+	cfg      RunConfig
+	cluster  *netsim.Cluster
+	tl       *Timeline
+	engines  []*consensus.Engine
+	res      *Result
+	history  *fd.History
+	curGap   float64
+	running  bool
+	execIdx  int
+	execT0   float64
+	closed   bool
+	upCount  int
+	finished int
+	decided  bool
+	firstAt  float64
+	round    int
+	val      int64
+	err      error
+}
+
+// Run executes one replica of the scenario and returns its result.
+func Run(s *Scenario, cfg RunConfig) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Executions == 0 {
+		cfg.Executions = s.Executions
+	}
+	if cfg.Executions < 1 {
+		return nil, fmt.Errorf("scenario %s: need at least 1 execution", s.Name)
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = 256
+	}
+	if cfg.Deadline == 0 {
+		if s.TimeoutT > 0 {
+			cfg.Deadline = 3*s.TimeoutT + 60
+		} else {
+			cfg.Deadline = 500
+		}
+	}
+	root := rng.New(cfg.Seed ^ 0x5ce7a51ed)
+	params := netsim.DefaultParams(s.N)
+	params.Crashed = s.InitialCrashed
+	if s.PauseEvery != nil {
+		params.PauseEvery = s.PauseEvery
+	}
+	if s.PauseDur != nil {
+		params.PauseDur = s.PauseDur
+	}
+	cluster, err := netsim.New(params, root.Child(1))
+	if err != nil {
+		return nil, err
+	}
+	r := &runner{
+		s:       s,
+		cfg:     cfg,
+		cluster: cluster,
+		engines: make([]*consensus.Engine, s.N+1),
+		res:     &Result{},
+		history: &fd.History{},
+		curGap:  s.Gap,
+	}
+	tl, err := s.compile(cluster, root.Child(2))
+	if err != nil {
+		return nil, err
+	}
+	r.tl = tl
+	// Workload phases arrive through the cluster's phase hook, so the gap
+	// switch happens at the injected instant of simulated time.
+	cluster.OnPhase(func(_ string, at float64) { r.curGap = tl.GapAt(at) })
+
+	periodTh := s.PeriodTh
+	if s.TimeoutT > 0 && periodTh == 0 {
+		periodTh = 0.7 * s.TimeoutT
+	}
+	var heartbeats []*fd.Heartbeat
+	for i := 1; i <= s.N; i++ {
+		id := neko.ProcessID(i)
+		stack := neko.NewStack(cluster.Context(id))
+		var det neko.FailureDetector
+		if s.TimeoutT > 0 {
+			hb := fd.NewHeartbeat(stack, s.TimeoutT, periodTh, r.history)
+			heartbeats = append(heartbeats, hb)
+			det = hb
+		} else {
+			det = fd.NewOracle(s.InitialCrashed...)
+		}
+		r.engines[i] = consensus.NewEngine(stack, det, consensus.Options{MaxRounds: cfg.MaxRounds})
+		cluster.Attach(id, stack)
+	}
+	cluster.Start()
+	r.startExec(0, 20) // warmup matches the experiment harness (§4)
+	cluster.Run(func() bool { return !r.running || r.err != nil })
+	if r.err != nil {
+		return nil, r.err
+	}
+	r.res.Texp = cluster.Now()
+	r.res.Events = cluster.Steps()
+	for _, hb := range heartbeats {
+		hb.Stop()
+	}
+	if s.TimeoutT > 0 {
+		r.res.QoS = fd.EstimateQoS(r.history, r.res.Texp, s.N)
+	}
+	for _, e := range r.history.Events() {
+		if e.Suspected {
+			r.res.Suspicions++
+			if tl.UpAt(e.Q, e.At) {
+				r.res.WrongSuspicions++
+			}
+		}
+	}
+	return r.res, nil
+}
+
+// startExec launches execution k at local time t0 on every process that
+// the timeline says is up (crashed processes never start; the cluster
+// additionally guards against races at the boundary).
+func (r *runner) startExec(k int, t0 float64) {
+	r.running = true
+	r.execIdx = k
+	r.execT0 = t0
+	r.closed = false
+	r.finished = 0
+	r.decided = false
+	r.firstAt = math.Inf(1)
+	r.round = 0
+	r.val = 0
+	r.upCount = 0
+	for i := 1; i <= r.s.N; i++ {
+		id := neko.ProcessID(i)
+		if !r.tl.UpAt(id, t0) {
+			continue
+		}
+		r.upCount++
+		i := i
+		r.cluster.StartAt(id, t0, func() {
+			if r.closed {
+				return
+			}
+			r.engines[i].Propose(uint64(k), int64(i),
+				func(d consensus.Decision) { r.onDecision(k, d) },
+				func() { r.onProcessDone(k) },
+			)
+		})
+	}
+	// Watchdog: mid-run crashes, partitions, and catastrophic suspicion
+	// storms must not hang the campaign. Scheduled globally so no host
+	// state can silence it.
+	r.cluster.AtGlobal(t0+r.cfg.Deadline, func() { r.closeExec(k) })
+	if r.upCount == 0 {
+		// Nobody can propose; close via the watchdog path immediately.
+		r.cluster.AtGlobal(t0, func() { r.closeExec(k) })
+	}
+}
+
+func (r *runner) onDecision(k int, d consensus.Decision) {
+	if r.closed || k != r.execIdx {
+		return
+	}
+	if !r.decided {
+		r.decided = true
+		r.firstAt = d.At
+		r.round = d.Round
+		r.val = d.Val
+	} else {
+		if d.Val != r.val {
+			r.err = fmt.Errorf("scenario %s: agreement violated in execution %d: decisions %d and %d",
+				r.s.Name, k, r.val, d.Val)
+			return
+		}
+		if d.At < r.firstAt {
+			r.firstAt = d.At
+			r.round = d.Round
+		}
+	}
+	if v := d.Val; v < 1 || int(v) > r.s.N {
+		r.err = fmt.Errorf("scenario %s: validity violated in execution %d: decided %d", r.s.Name, k, d.Val)
+		return
+	}
+	r.onProcessDone(k)
+}
+
+func (r *runner) onProcessDone(k int) {
+	if r.closed || k != r.execIdx {
+		return
+	}
+	r.finished++
+	if r.finished >= r.upCount {
+		r.closeExec(k)
+	}
+}
+
+// closeExec finalizes execution k (normally or via watchdog) and
+// schedules the next one a current-workload-gap later.
+func (r *runner) closeExec(k int) {
+	if r.closed || k != r.execIdx {
+		return
+	}
+	r.closed = true
+	if r.decided {
+		r.res.Latencies = append(r.res.Latencies, r.firstAt-r.execT0)
+		r.res.Rounds = append(r.res.Rounds, r.round)
+		r.res.Decided++
+	} else {
+		r.res.Aborted++
+	}
+	for i := 1; i <= r.s.N; i++ {
+		if r.engines[i] != nil {
+			r.engines[i].Forget(uint64(k))
+		}
+	}
+	if k+1 >= r.cfg.Executions {
+		r.running = false
+		return
+	}
+	next := r.execT0 + r.curGap
+	if now := r.cluster.Now(); now+2 > next {
+		next = now + 2
+	}
+	r.startExec(k+1, next)
+}

@@ -45,6 +45,33 @@ func (a *Accumulator) AddAll(xs []float64) {
 	}
 }
 
+// Merge folds another accumulator into this one using the parallel
+// variance combination (Chan et al.), so per-replica accumulators built
+// independently can be reduced to exactly the campaign-level moments.
+// Campaign folds merge in replica-index order to keep results identical
+// at any worker count.
+func (a *Accumulator) Merge(b *Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *b
+		return
+	}
+	na, nb := float64(a.n), float64(b.n)
+	d := b.mean - a.mean
+	n := na + nb
+	a.m2 += b.m2 + d*d*na*nb/n
+	a.mean += d * nb / n
+	a.n += b.n
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+}
+
 // N returns the number of observations.
 func (a *Accumulator) N() int { return a.n }
 

@@ -37,6 +37,45 @@ func TestAccumulatorAgainstNaive(t *testing.T) {
 	}
 }
 
+// TestAccumulatorMerge checks the parallel combination against folding
+// the concatenated sample serially.
+func TestAccumulatorMerge(t *testing.T) {
+	if err := quick.Check(func(seed uint64, ka, kb uint8) bool {
+		na, nb := int(ka%40), int(kb%40)+1
+		r := rng.New(seed)
+		var a, b, serial Accumulator
+		for i := 0; i < na; i++ {
+			x := r.Normal(-2, 4)
+			a.Add(x)
+			serial.Add(x)
+		}
+		for i := 0; i < nb; i++ {
+			x := r.Normal(9, 0.5)
+			b.Add(x)
+			serial.Add(x)
+		}
+		a.Merge(&b)
+		return a.N() == serial.N() &&
+			a.Min() == serial.Min() && a.Max() == serial.Max() &&
+			math.Abs(a.Mean()-serial.Mean()) < 1e-9*(1+math.Abs(serial.Mean())) &&
+			math.Abs(a.Var()-serial.Var()) < 1e-6*(1+serial.Var())
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Merging into or from an empty accumulator degenerates to a copy.
+	var empty, full Accumulator
+	full.AddAll([]float64{1, 2, 3})
+	cp := full
+	full.Merge(&empty)
+	if full != cp {
+		t.Fatal("merging an empty accumulator changed the receiver")
+	}
+	empty.Merge(&full)
+	if empty != full {
+		t.Fatal("merging into an empty accumulator is not a copy")
+	}
+}
+
 func TestAccumulatorMinMax(t *testing.T) {
 	var a Accumulator
 	a.AddAll([]float64{3, -1, 7, 2})
