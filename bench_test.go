@@ -9,6 +9,7 @@
 package ctsan
 
 import (
+	"context"
 	"testing"
 
 	"ctsan/internal/experiment"
@@ -38,7 +39,7 @@ func benchFidelity() experiment.Fidelity {
 func BenchmarkFig6EndToEndDelay(b *testing.B) {
 	f := benchFidelity()
 	for i := 0; i < b.N; i++ {
-		_, fits, err := experiment.Fig6(f, uint64(i)+1)
+		_, fits, err := experiment.Fig6(context.Background(), f, uint64(i)+1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -52,7 +53,7 @@ func BenchmarkFig6EndToEndDelay(b *testing.B) {
 func BenchmarkFig7aLatencyCDFMeasured(b *testing.B) {
 	f := benchFidelity()
 	for i := 0; i < b.N; i++ {
-		_, results, err := experiment.Fig7a(f, uint64(i)+1)
+		_, results, err := experiment.Fig7a(context.Background(), f, uint64(i)+1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -66,7 +67,7 @@ func BenchmarkFig7aLatencyCDFMeasured(b *testing.B) {
 func BenchmarkFig7bLatencyCDFSimulated(b *testing.B) {
 	f := benchFidelity()
 	for i := 0; i < b.N; i++ {
-		_, best, err := experiment.Fig7b(f, uint64(i)+1)
+		_, best, err := experiment.Fig7b(context.Background(), f, uint64(i)+1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -79,7 +80,7 @@ func BenchmarkFig7bLatencyCDFSimulated(b *testing.B) {
 func BenchmarkTable1CrashScenarios(b *testing.B) {
 	f := benchFidelity()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.Table1(f, uint64(i)+1); err != nil {
+		if _, err := experiment.Table1(context.Background(), f, uint64(i)+1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -90,7 +91,7 @@ func BenchmarkTable1CrashScenarios(b *testing.B) {
 func BenchmarkFig8FDQoS(b *testing.B) {
 	f := benchFidelity()
 	for i := 0; i < b.N; i++ {
-		points, err := experiment.RunClass3(f, uint64(i)+1, nil)
+		points, err := experiment.RunClass3(context.Background(), f, uint64(i)+1, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -106,7 +107,7 @@ func BenchmarkFig8FDQoS(b *testing.B) {
 func BenchmarkFig9aLatencyVsTimeoutMeasured(b *testing.B) {
 	f := benchFidelity()
 	for i := 0; i < b.N; i++ {
-		points, err := experiment.RunClass3(f, uint64(i)+1, nil)
+		points, err := experiment.RunClass3(context.Background(), f, uint64(i)+1, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -121,11 +122,11 @@ func BenchmarkFig9aLatencyVsTimeoutMeasured(b *testing.B) {
 func BenchmarkFig9bLatencyVsTimeoutSimulated(b *testing.B) {
 	f := benchFidelity()
 	for i := 0; i < b.N; i++ {
-		points, err := experiment.RunClass3(f, uint64(i)+1, nil)
+		points, err := experiment.RunClass3(context.Background(), f, uint64(i)+1, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := experiment.Fig9b(points, f, uint64(i)+1); err != nil {
+		if _, err := experiment.Fig9b(context.Background(), points, f, uint64(i)+1); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,126 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+)
+
+// Engine identifies which evaluation engine executes a Point. The paper's
+// methodology is exactly this duality — the same campaign run against a
+// simulated analytical model and against an emulated implementation — and
+// the scenario layer extends it with declarative fault injection.
+type Engine int
+
+const (
+	// SAN solves the stochastic activity network model of the consensus
+	// algorithm (§3) by replicated transient simulation.
+	SAN Engine = iota + 1
+	// Emulation measures the real protocol stack on the emulated cluster
+	// (§4): sequential consensus executions with a live failure detector.
+	Emulation
+	// Scenario runs a declarative fault/workload timeline from the
+	// scenario registry (or inline JSON) on the emulated cluster.
+	Scenario
+)
+
+// String returns the engine's stable lowercase name (used in JSON output).
+func (e Engine) String() string {
+	switch e {
+	case SAN:
+		return "san"
+	case Emulation:
+		return "emulation"
+	case Scenario:
+		return "scenario"
+	}
+	return fmt.Sprintf("engine(%d)", int(e))
+}
+
+// MarshalText implements encoding.TextMarshaler so Engine renders as its
+// name in JSON results.
+func (e Engine) MarshalText() ([]byte, error) { return []byte(e.String()), nil }
+
+// Point is one cell of a study grid: an engine binding plus the
+// engine-specific configuration. The three implementations are
+// LatencyPoint (Emulation), SANPoint (SAN), and ScenarioPoint (Scenario).
+// The interface is sealed: the executor needs module-internal machinery,
+// so external packages compose studies from the provided point types.
+type Point interface {
+	// Engine reports which engine executes the point.
+	Engine() Engine
+	// Label returns the point's display name (may be empty; Run falls
+	// back to "engine[index]").
+	Label() string
+	// prepare validates the point against the study options and returns
+	// its runner. Sealing method: only this package implements Point.
+	prepare(o *options, index int) (pointRunner, error)
+}
+
+// pointRunner executes one prepared point under a context.
+type pointRunner func(ctx context.Context) (*Result, error)
+
+// Study is a named grid of points, executed by Run. The zero value is
+// unusable; build studies with NewStudy (or a composite literal with
+// Name and Points set).
+type Study struct {
+	// Name identifies the study in results and progress output.
+	Name string
+	// Points are the grid cells, executed with deterministic per-index
+	// seeding; results are emitted in point-index order.
+	Points []Point
+}
+
+// NewStudy builds a study from points.
+func NewStudy(name string, points ...Point) *Study {
+	return &Study{Name: name, Points: points}
+}
+
+// Add appends points and returns the study for chaining.
+func (s *Study) Add(points ...Point) *Study {
+	s.Points = append(s.Points, points...)
+	return s
+}
+
+// options is the resolved functional-option state of one Run call.
+type options struct {
+	seed     uint64
+	workers  int
+	replicas int
+	sinks    []Sink
+	progress func(done, total int, last *Result)
+	// totalPoints is set by Run before preparing points; it feeds the
+	// outer/inner worker-budget split.
+	totalPoints int
+}
+
+// Option configures a Run call.
+type Option func(*options)
+
+// WithSeed sets the study root seed (default 1). Every point derives its
+// own seed from a child stream keyed by its index — unless the point pins
+// an explicit Seed — so a study is bit-identical for a given seed at any
+// worker count.
+func WithSeed(seed uint64) Option { return func(o *options) { o.seed = seed } }
+
+// WithWorkers caps the worker goroutines fanning out study points and
+// their inner Monte-Carlo replicas: 0 (the default) means one per CPU,
+// 1 forces the serial reference path. Results do not depend on the count.
+func WithWorkers(w int) Option { return func(o *options) { o.workers = w } }
+
+// WithReplicas sets the default replica count for SAN and Scenario points
+// that do not set their own (default: 1000 for SAN, 1 for Scenario).
+func WithReplicas(r int) Option { return func(o *options) { o.replicas = r } }
+
+// WithProgress installs a progress callback invoked after each result is
+// emitted to the sinks, in point-index order: done results so far, the
+// study's total point count, and the result just emitted. Calls are
+// serialized but may run on different worker goroutines.
+func WithProgress(fn func(done, total int, last *Result)) Option {
+	return func(o *options) { o.progress = fn }
+}
+
+// WithSink attaches a streaming result sink; repeat to attach several.
+// Each sink receives every result exactly once, in point-index order, and
+// is closed when the run ends (also on error or cancellation, so partial
+// output is flushed).
+func WithSink(s Sink) Option { return func(o *options) { o.sinks = append(o.sinks, s) } }

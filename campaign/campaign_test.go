@@ -1,0 +1,299 @@
+package campaign_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"ctsan/campaign"
+	"ctsan/internal/experiment"
+	"ctsan/internal/sanmodel"
+	"ctsan/internal/scenario"
+)
+
+var bg = context.Background()
+
+func sameSamples(t *testing.T, what string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d samples, want %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: sample %d = %v, want %v (must be bit-identical)", what, i, got[i], want[i])
+		}
+	}
+}
+
+// TestEmulationMatchesInternalSweep pins the refactor: a latency study on
+// the Emulation engine must be bit-identical to the pre-refactor internal
+// API (experiment.RunLatencySweep) at 1, 2, and 8 workers.
+func TestEmulationMatchesInternalSweep(t *testing.T) {
+	ns := []int{3, 5}
+	const execs, seed = 60, 11
+	specs := make([]experiment.LatencySpec, len(ns))
+	points := make([]campaign.Point, len(ns))
+	for i, n := range ns {
+		specs[i] = experiment.LatencySpec{N: n, Executions: execs, Seed: seed}
+		points[i] = campaign.LatencyPoint{N: n, Executions: execs, Seed: seed}
+	}
+	ref, err := experiment.RunLatencySweep(specs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 8} {
+		results, err := campaign.RunCollect(bg, campaign.NewStudy("emu", points...), campaign.WithWorkers(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range points {
+			sameSamples(t, "emulation point", results[i].Samples, ref[i].Latencies)
+			if results[i].Aborted != ref[i].Aborted {
+				t.Fatalf("workers=%d: aborted %d, want %d", w, results[i].Aborted, ref[i].Aborted)
+			}
+		}
+	}
+}
+
+// TestSANMatchesInternalSimulate pins the SAN engine against the
+// pre-refactor sanmodel.SimulateWorkers at 1, 2, and 8 workers.
+func TestSANMatchesInternalSimulate(t *testing.T) {
+	const n, replicas, tmax, seed = 3, 250, 1e6, 9
+	p := sanmodel.DefaultParams(n)
+	ref, err := sanmodel.SimulateWorkers(p, replicas, tmax, seed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 8} {
+		results, err := campaign.RunCollect(bg,
+			campaign.NewStudy("san", campaign.SANPoint{N: n, Replicas: replicas, Tmax: tmax, Seed: seed}),
+			campaign.WithWorkers(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameSamples(t, "san point", results[0].Samples, ref.Samples)
+		if results[0].Aborted != ref.Truncated {
+			t.Fatalf("workers=%d: aborted %d, want truncated %d", w, results[0].Aborted, ref.Truncated)
+		}
+	}
+}
+
+// TestScenarioMatchesInternalCampaign pins the Scenario engine against
+// the pre-refactor scenario.RunCampaign at 1, 2, and 8 workers.
+func TestScenarioMatchesInternalCampaign(t *testing.T) {
+	s, err := scenario.Get("paper-baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const replicas, execs, seed = 3, 40, 21
+	refReports, err := scenario.RunCampaign(scenario.CampaignSpec{
+		Scenarios:  []*scenario.Scenario{s},
+		Replicas:   replicas,
+		Executions: execs,
+		Workers:    1,
+		Seed:       seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := refReports[0]
+	for _, w := range []int{1, 2, 8} {
+		results, err := campaign.RunCollect(bg,
+			campaign.NewStudy("scn", campaign.ScenarioPoint{
+				Name: "paper-baseline", Replicas: replicas, Executions: execs, Seed: seed,
+			}),
+			campaign.WithWorkers(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := results[0]
+		sameSamples(t, "scenario point", r.Samples, ref.Latencies)
+		if r.Aborted != ref.Aborted || r.Suspicions != ref.Suspicions ||
+			r.WrongSuspicions != ref.WrongSuspicions || r.Events != ref.DESEvents ||
+			r.Texp != ref.Texp {
+			t.Fatalf("workers=%d: flattened report diverged: %+v vs %+v", w, r, ref)
+		}
+	}
+}
+
+// TestStudyDeterministicAcrossWorkers runs a mixed three-engine study —
+// the API's reason to exist — and requires bit-identical results and
+// identical emission order at 1, 2, and 8 workers.
+func TestStudyDeterministicAcrossWorkers(t *testing.T) {
+	study := func() *campaign.Study {
+		return campaign.NewStudy("mixed",
+			campaign.SANPoint{Name: "model", N: 3, Replicas: 150, Tmax: 1e6},
+			campaign.LatencyPoint{Name: "measured", N: 3, Executions: 50},
+			campaign.ScenarioPoint{Name: "paper-baseline", Replicas: 2, Executions: 30},
+		)
+	}
+	ref, err := campaign.RunCollect(bg, study(), campaign.WithSeed(5), campaign.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref) != 3 {
+		t.Fatalf("expected 3 results, got %d", len(ref))
+	}
+	for _, w := range []int{2, 8} {
+		got, err := campaign.RunCollect(bg, study(), campaign.WithSeed(5), campaign.WithWorkers(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref {
+			if got[i].Index != i || got[i].Point != ref[i].Point {
+				t.Fatalf("workers=%d: emission order broken at %d: %q", w, i, got[i].Point)
+			}
+			sameSamples(t, "mixed study point "+ref[i].Point, got[i].Samples, ref[i].Samples)
+			if got[i].Seed != ref[i].Seed {
+				t.Fatalf("workers=%d: derived seed changed: %d vs %d", w, got[i].Seed, ref[i].Seed)
+			}
+		}
+	}
+}
+
+// TestCancellationAbortsMidCampaign cancels the context from the progress
+// callback after the first emitted result: the run must stop promptly and
+// return the clean context error, with at most a few in-flight points
+// completing after the cancel.
+func TestCancellationAbortsMidCampaign(t *testing.T) {
+	var points []campaign.Point
+	for i := 0; i < 40; i++ {
+		points = append(points, campaign.LatencyPoint{N: 3, Executions: 40})
+	}
+	ctx, cancel := context.WithCancel(bg)
+	defer cancel()
+	emitted := 0
+	err := campaign.Run(ctx, campaign.NewStudy("cancel-me", points...),
+		campaign.WithWorkers(2),
+		campaign.WithProgress(func(done, total int, _ *campaign.Result) {
+			emitted = done
+			if done == 1 {
+				cancel()
+			}
+		}))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if emitted >= len(points) {
+		t.Fatalf("all %d points ran despite cancellation after the first", len(points))
+	}
+}
+
+// TestCancellationInsideSinglePoint cancels during a single long
+// emulation point: the execution-boundary check must stop it without
+// waiting for the whole campaign.
+func TestCancellationInsideSinglePoint(t *testing.T) {
+	ctx, cancel := context.WithCancel(bg)
+	defer cancel()
+	study := campaign.NewStudy("one-long-point",
+		campaign.LatencyPoint{N: 3, Executions: 100000})
+	done := make(chan error, 1)
+	go func() {
+		_, err := campaign.RunCollect(ctx, study, campaign.WithWorkers(1))
+		done <- err
+	}()
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestPrepareFailsFast: an invalid late point must fail before any
+// campaign runs (streaming must not emit partial output first).
+func TestPrepareFailsFast(t *testing.T) {
+	var emitted int
+	err := campaign.Run(bg, campaign.NewStudy("bad",
+		campaign.LatencyPoint{N: 3, Executions: 20},
+		campaign.ScenarioPoint{Name: "no-such-scenario"},
+	), campaign.WithProgress(func(int, int, *campaign.Result) { emitted++ }))
+	if err == nil || !strings.Contains(err.Error(), "no-such-scenario") {
+		t.Fatalf("err = %v, want unknown-scenario prepare error", err)
+	}
+	if emitted != 0 {
+		t.Fatalf("%d results emitted before the prepare error", emitted)
+	}
+}
+
+// closeCounter counts Close calls so tests can pin the exactly-once
+// sink-close contract.
+type closeCounter struct {
+	campaign.Collect
+	closes int
+}
+
+func (c *closeCounter) Close() error { c.closes++; return nil }
+
+// TestSinksClosedOnPrepareError: Close must be called exactly once even
+// when the run fails before any point executes (a custom sink holding a
+// file handle must be released).
+func TestSinksClosedOnPrepareError(t *testing.T) {
+	var sink closeCounter
+	err := campaign.Run(bg, campaign.NewStudy("bad",
+		campaign.ScenarioPoint{Name: "no-such-scenario"},
+	), campaign.WithSink(&sink))
+	if err == nil {
+		t.Fatal("prepare error expected")
+	}
+	if sink.closes != 1 {
+		t.Fatalf("sink closed %d times on prepare error, want exactly 1", sink.closes)
+	}
+	var empty closeCounter
+	if err := campaign.Run(bg, campaign.NewStudy("empty"), campaign.WithSink(&empty)); err == nil {
+		t.Fatal("empty study must error")
+	}
+	if empty.closes != 1 {
+		t.Fatalf("sink closed %d times on empty study, want exactly 1", empty.closes)
+	}
+}
+
+// TestNegativeTimeoutRejected: a negative heartbeat timeout must fail
+// loudly, not silently fall back to the oracle detector.
+func TestNegativeTimeoutRejected(t *testing.T) {
+	err := campaign.Run(bg, campaign.NewStudy("neg-T",
+		campaign.LatencyPoint{N: 3, Executions: 10, TimeoutT: -5}))
+	if err == nil || !strings.Contains(err.Error(), "negative heartbeat timeout") {
+		t.Fatalf("err = %v, want negative-timeout error", err)
+	}
+}
+
+// TestEmptyStudyRejected pins the descriptive error for empty studies.
+func TestEmptyStudyRejected(t *testing.T) {
+	if err := campaign.Run(bg, campaign.NewStudy("empty")); err == nil {
+		t.Fatal("empty study must error")
+	}
+	if err := campaign.Run(bg, nil); err == nil {
+		t.Fatal("nil study must error")
+	}
+}
+
+// TestSinksReceiveOrderedStream checks multi-sink fan-out and that the
+// JSONL sink emits one parseable line per point, in index order.
+func TestSinksReceiveOrderedStream(t *testing.T) {
+	var buf strings.Builder
+	var collected campaign.Collect
+	study := campaign.NewStudy("sinks",
+		campaign.SANPoint{Name: "a", N: 3, Replicas: 60, Tmax: 1e6},
+		campaign.SANPoint{Name: "b", N: 3, Replicas: 60, Tmax: 1e6},
+		campaign.SANPoint{Name: "c", N: 3, Replicas: 60, Tmax: 1e6},
+	)
+	err := campaign.Run(bg, study,
+		campaign.WithWorkers(8),
+		campaign.WithSink(&collected),
+		campaign.WithSink(campaign.NewJSONLWriter(&buf)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 || len(collected.Results) != 3 {
+		t.Fatalf("expected 3 results in both sinks, got %d lines / %d collected", len(lines), len(collected.Results))
+	}
+	for i, want := range []string{"a", "b", "c"} {
+		if collected.Results[i].Point != want {
+			t.Fatalf("collect order: position %d is %q", i, collected.Results[i].Point)
+		}
+		if !strings.Contains(lines[i], `"point":"`+want+`"`) {
+			t.Fatalf("jsonl line %d does not mention point %q: %s", i, want, lines[i])
+		}
+	}
+}

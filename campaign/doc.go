@@ -1,0 +1,40 @@
+// Package campaign is the public evaluation surface of this repository:
+// one API that runs the same study on every engine the paper's
+// methodology spans — transient simulation of the Stochastic Activity
+// Network model (SAN), measurement campaigns on the emulated cluster
+// (Emulation), and declarative fault/workload scenarios (Scenario).
+//
+// A Study is a named grid of Points; each Point binds one engine with its
+// configuration:
+//
+//	study := campaign.NewStudy("latency-vs-n",
+//	    campaign.SANPoint{Name: "san-n5", N: 5, Replicas: 2000},
+//	    campaign.LatencyPoint{Name: "meas-n5", N: 5, Executions: 1000},
+//	    campaign.ScenarioPoint{Name: "gc-storm", Replicas: 4},
+//	)
+//	err := campaign.Run(ctx, study,
+//	    campaign.WithSeed(1),
+//	    campaign.WithWorkers(0), // one per CPU
+//	    campaign.WithSink(campaign.NewJSONLWriter(os.Stdout)),
+//	)
+//
+// Run fans the points (and the Monte-Carlo replicas inside them) across
+// the deterministic worker pool. Three properties hold at every worker
+// count:
+//
+//   - determinism: every result is bit-identical for a given seed — each
+//     point draws from a child random stream keyed by its index, and the
+//     per-point folds are serial (see PERFORMANCE.md);
+//   - ordered streaming: sinks receive results in point-index order, as
+//     soon as the contiguous prefix is complete — early points stream out
+//     while later points still run;
+//   - cancellation: the context is honored between points, between
+//     replicas, and between consensus executions, so Ctrl-C (or a test
+//     timeout) stops a campaign promptly with ctx.Err().
+//
+// Results are engine-uniform (Result with a latency Summary, abort
+// counts, failure-detector QoS where measured); Sink implementations
+// Collect, JSONLWriter, and TableSink cover programmatic, pipeline, and
+// human consumption. The cmd/ binaries (testbed, sanrun, fdqos,
+// scenario, repro) are thin shells over this package.
+package campaign

@@ -1,0 +1,286 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+
+	"ctsan/internal/experiment"
+	"ctsan/internal/neko"
+	"ctsan/internal/sanmodel"
+	"ctsan/internal/scenario"
+)
+
+// LatencyPoint is an Emulation-engine point: a latency measurement
+// campaign on the emulated cluster (§4) — sequential consensus executions
+// separated by Gap, under a perfect-oracle failure detector or, when
+// TimeoutT > 0, the real push heartbeat detector of §2.2.
+type LatencyPoint struct {
+	// Name labels the point in results (default "emulation[index]").
+	Name string
+	// N is the number of processes (≥ 2).
+	N int
+	// Executions is the number of sequential consensus executions
+	// (paper: 5000 for classes 1/2, 1000 for class 3).
+	Executions int
+	// Gap separates execution starts in ms (0 = 10, §4); Warmup delays
+	// the first execution (0 = 20 ms).
+	Gap    float64
+	Warmup float64
+	// TimeoutT > 0 runs the heartbeat failure detector with timeout T;
+	// PeriodTh is the heartbeat period (0 = 0.7·T, §5.4). TimeoutT == 0
+	// uses the perfect oracle.
+	TimeoutT float64
+	PeriodTh float64
+	// Crashed lists initially crashed processes (class-2 runs).
+	Crashed []int
+	// MaxRounds (0 = 256) and Deadline ms (0 = 500) guard executions.
+	MaxRounds int
+	Deadline  float64
+	// Seed pins this point's campaign seed; 0 derives one from the study
+	// seed and the point index.
+	Seed uint64
+}
+
+// Engine implements Point.
+func (p LatencyPoint) Engine() Engine { return Emulation }
+
+// Label implements Point.
+func (p LatencyPoint) Label() string { return p.Name }
+
+func (p LatencyPoint) prepare(o *options, index int) (pointRunner, error) {
+	if p.N < 2 {
+		return nil, fmt.Errorf("campaign: point %d (%s): need n >= 2, got %d", index, label(p, index), p.N)
+	}
+	if p.Executions < 1 {
+		return nil, fmt.Errorf("campaign: point %d (%s): need at least 1 execution", index, label(p, index))
+	}
+	if p.TimeoutT < 0 {
+		return nil, fmt.Errorf("campaign: point %d (%s): negative heartbeat timeout %g (0 selects the oracle FD)", index, label(p, index), p.TimeoutT)
+	}
+	spec := experiment.LatencySpec{
+		N:          p.N,
+		Executions: p.Executions,
+		Gap:        p.Gap,
+		Warmup:     p.Warmup,
+		MaxRounds:  p.MaxRounds,
+		Deadline:   p.Deadline,
+		Seed:       o.pointSeed(index, p.Seed),
+	}
+	if p.TimeoutT > 0 {
+		spec.FDMode = experiment.FDHeartbeat
+		spec.TimeoutT = p.TimeoutT
+		spec.PeriodTh = p.PeriodTh
+	}
+	for _, id := range p.Crashed {
+		spec.Crashed = append(spec.Crashed, neko.ProcessID(id))
+	}
+	return func(ctx context.Context) (*Result, error) {
+		res, err := experiment.RunLatencyContext(ctx, spec)
+		if err != nil {
+			return nil, err
+		}
+		out := &Result{
+			Engine:   Emulation,
+			Seed:     spec.Seed,
+			Replicas: 1,
+			Samples:  res.Latencies,
+			Latency:  summarize(res.Latencies),
+			Aborted:  res.Aborted,
+			Texp:     res.Texp,
+			Events:   res.Events,
+			raw:      res,
+		}
+		if p.TimeoutT > 0 {
+			out.TMR, out.TM = res.QoS.TMR, res.QoS.TM
+		}
+		return out, nil
+	}, nil
+}
+
+// SANPoint is a SAN-engine point: a replicated transient study of the
+// paper's stochastic activity network model (§3), each replica one
+// consensus until the first decision.
+type SANPoint struct {
+	// Name labels the point in results (default "san[index]").
+	Name string
+	// N is the number of processes (≥ 2).
+	N int
+	// Replicas is the number of transient-simulation replicas; 0 takes
+	// the study default (WithReplicas, else 1000).
+	Replicas int
+	// TSend overrides t_send = t_receive in ms (0 keeps the model default
+	// 0.025, the value the paper settles on in §5.2).
+	TSend float64
+	// Crashed lists initially crashed processes (class-2 runs).
+	Crashed []int
+	// TMR > 0 enables the abstract failure-detector submodels of §3.4
+	// with mistake recurrence time TMR and mistake duration TM (class-3
+	// runs); FDExponential selects exponential instead of deterministic
+	// sojourns.
+	TMR, TM       float64
+	FDExponential bool
+	// Tmax is the simulation horizon in ms (0 = 1e7); replicas that reach
+	// it undecided count as Aborted.
+	Tmax float64
+	// Seed pins this point's campaign seed; 0 derives one from the study
+	// seed and the point index.
+	Seed uint64
+}
+
+// Engine implements Point.
+func (p SANPoint) Engine() Engine { return SAN }
+
+// Label implements Point.
+func (p SANPoint) Label() string { return p.Name }
+
+func (p SANPoint) prepare(o *options, index int) (pointRunner, error) {
+	if p.N < 2 {
+		return nil, fmt.Errorf("campaign: point %d (%s): need n >= 2, got %d", index, label(p, index), p.N)
+	}
+	params := sanmodel.DefaultParams(p.N)
+	if p.TSend > 0 {
+		params.TSend = p.TSend
+		params.TReceive = p.TSend
+	}
+	params.Crashed = append(params.Crashed, p.Crashed...)
+	if p.TMR > 0 {
+		kind := sanmodel.FDDeterministic
+		if p.FDExponential {
+			kind = sanmodel.FDExponential
+		}
+		params.FD = sanmodel.FDModel{TMR: p.TMR, TM: p.TM, Kind: kind}
+	}
+	replicas := p.Replicas
+	if replicas == 0 {
+		replicas = o.replicas
+	}
+	if replicas == 0 {
+		replicas = 1000
+	}
+	if replicas < 0 {
+		return nil, fmt.Errorf("campaign: point %d (%s): negative replica count %d", index, label(p, index), replicas)
+	}
+	tmax := p.Tmax
+	if tmax == 0 {
+		tmax = 1e7
+	}
+	seed := o.pointSeed(index, p.Seed)
+	inner := o.innerWorkers()
+	return func(ctx context.Context) (*Result, error) {
+		res, err := sanmodel.SimulateContext(ctx, params, replicas, tmax, seed, inner)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Engine:   SAN,
+			Seed:     seed,
+			Replicas: replicas,
+			Samples:  res.Samples,
+			Latency:  summarize(res.Samples),
+			Aborted:  res.Truncated,
+			raw:      res,
+		}, nil
+	}, nil
+}
+
+// ScenarioPoint is a Scenario-engine point: a named registry scenario —
+// or an inline declarative JSON timeline — run as a replica campaign on
+// the emulated cluster, reporting ground-truthed wrong suspicions along
+// with latency.
+type ScenarioPoint struct {
+	// Name is the registry scenario to run (see `scenario list`), and the
+	// point label. With SpecJSON set, Name only labels the point.
+	Name string
+	// SpecJSON, when non-nil, is a declarative JSON scenario definition
+	// (the `scenario run -spec` format) used instead of the registry.
+	SpecJSON []byte
+	// Replicas is the number of independent replicas; 0 takes the study
+	// default (WithReplicas, else 1).
+	Replicas int
+	// Executions overrides the scenario's per-replica execution count
+	// (0 keeps the scenario's own default).
+	Executions int
+	// MaxRounds (0 = 256) and Deadline ms (0 = scenario default) guard
+	// each execution.
+	MaxRounds int
+	Deadline  float64
+	// Seed pins this point's campaign seed; 0 derives one from the study
+	// seed and the point index.
+	Seed uint64
+}
+
+// Engine implements Point.
+func (p ScenarioPoint) Engine() Engine { return Scenario }
+
+// Label implements Point.
+func (p ScenarioPoint) Label() string { return p.Name }
+
+func (p ScenarioPoint) prepare(o *options, index int) (pointRunner, error) {
+	var (
+		s   *scenario.Scenario
+		err error
+	)
+	switch {
+	case p.SpecJSON != nil:
+		s, err = scenario.LoadJSON(p.SpecJSON)
+	case p.Name != "":
+		s, err = scenario.Get(p.Name)
+	default:
+		err = fmt.Errorf("need a registry scenario name or an inline SpecJSON")
+	}
+	if err != nil {
+		return nil, fmt.Errorf("campaign: point %d (%s): %w", index, label(p, index), err)
+	}
+	replicas := p.Replicas
+	if replicas == 0 {
+		replicas = o.replicas
+	}
+	if replicas == 0 {
+		replicas = 1
+	}
+	spec := scenario.CampaignSpec{
+		Scenarios:  []*scenario.Scenario{s},
+		Replicas:   replicas,
+		Executions: p.Executions,
+		Workers:    o.innerWorkers(),
+		Seed:       o.pointSeed(index, p.Seed),
+		MaxRounds:  p.MaxRounds,
+		Deadline:   p.Deadline,
+	}
+	if replicas < 1 {
+		return nil, fmt.Errorf("campaign: point %d (%s): need at least 1 replica, got %d", index, label(p, index), replicas)
+	}
+	if p.Executions < 0 {
+		return nil, fmt.Errorf("campaign: point %d (%s): negative execution override %d", index, label(p, index), p.Executions)
+	}
+	return func(ctx context.Context) (*Result, error) {
+		reports, err := scenario.RunCampaignContext(ctx, spec)
+		if err != nil {
+			return nil, err
+		}
+		rep := reports[0]
+		return &Result{
+			Engine:          Scenario,
+			Seed:            spec.Seed,
+			Replicas:        replicas,
+			Samples:         rep.Latencies,
+			Latency:         summarize(rep.Latencies),
+			Aborted:         rep.Aborted,
+			Texp:            rep.Texp,
+			Events:          rep.DESEvents,
+			Suspicions:      rep.Suspicions,
+			WrongSuspicions: rep.WrongSuspicions,
+			TMR:             rep.TMR,
+			TM:              rep.TM,
+			raw:             rep,
+		}, nil
+	}, nil
+}
+
+// label resolves a point's display name, falling back to "engine[index]".
+func label(p Point, index int) string {
+	if l := p.Label(); l != "" {
+		return l
+	}
+	return fmt.Sprintf("%s[%d]", p.Engine(), index)
+}

@@ -1,0 +1,93 @@
+package campaign
+
+import (
+	"ctsan/internal/stats"
+)
+
+// Summary condenses a point's latency samples (milliseconds).
+type Summary struct {
+	// N is the number of retained samples.
+	N int `json:"n"`
+	// Mean and CI90 are the sample mean and its 90% confidence half-width.
+	Mean float64 `json:"mean_ms"`
+	CI90 float64 `json:"ci90_ms"`
+	// P50/P90/P99 are empirical quantiles; Min/Max the extremes.
+	P50 float64 `json:"p50_ms"`
+	P90 float64 `json:"p90_ms"`
+	P99 float64 `json:"p99_ms"`
+	Min float64 `json:"min_ms"`
+	Max float64 `json:"max_ms"`
+}
+
+// summarize folds samples into a Summary. Empty input yields the zero
+// Summary (a point whose every execution aborted).
+func summarize(samples []float64) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	var acc stats.Accumulator
+	acc.AddAll(samples)
+	e := stats.NewECDF(samples)
+	return Summary{
+		N:    len(samples),
+		Mean: acc.Mean(),
+		CI90: acc.CI(0.90),
+		P50:  e.Quantile(0.50),
+		P90:  e.Quantile(0.90),
+		P99:  e.Quantile(0.99),
+		Min:  acc.Min(),
+		Max:  acc.Max(),
+	}
+}
+
+// Result is the outcome of one study point, shaped identically across
+// engines so sinks, tables, and downstream analyses need no per-engine
+// cases. Engine-specific detail stays reachable through Raw.
+type Result struct {
+	// Study and Point identify the cell; Index is the point's position in
+	// the study grid (results are emitted in Index order).
+	Study string `json:"study"`
+	Point string `json:"point"`
+	Index int    `json:"index"`
+	// Engine executed the point; Seed is the effective per-point seed.
+	Engine Engine `json:"engine"`
+	Seed   uint64 `json:"seed"`
+	// Replicas is the number of Monte-Carlo replicas the point ran (1 for
+	// a plain emulation campaign).
+	Replicas int `json:"replicas"`
+	// Latency summarizes the retained latency samples (ms): consensus
+	// executions for Emulation/Scenario points, transient-study replicas
+	// for SAN points.
+	Latency Summary `json:"latency"`
+	// Aborted counts discarded units: executions that never decided, or
+	// SAN replicas truncated by the rounds guard / horizon.
+	Aborted int `json:"aborted"`
+	// Texp is the total simulated time (ms) and Events the discrete-event
+	// count, where the engine reports them (zero for SAN points).
+	Texp   float64 `json:"texp_ms,omitempty"`
+	Events uint64  `json:"des_events,omitempty"`
+	// Suspicions / WrongSuspicions count failure-detector trust→suspect
+	// transitions (Scenario points, where the timeline supplies ground
+	// truth for wrongness).
+	Suspicions      int `json:"suspicions,omitempty"`
+	WrongSuspicions int `json:"wrong_suspicions,omitempty"`
+	// TMR and TM are the Chen et al. failure-detector QoS metrics (ms),
+	// populated for heartbeat campaigns.
+	TMR float64 `json:"tmr_ms,omitempty"`
+	TM  float64 `json:"tm_ms,omitempty"`
+
+	// Samples holds the raw retained latency samples in execution order.
+	// They are deliberately outside the JSON schema (JSONL lines stay one
+	// screen wide at paper fidelity); use Collect for programmatic access.
+	Samples []float64 `json:"-"`
+
+	// raw is the engine-native result (*experiment.LatencyResult,
+	// *san.TransientResult, or *scenario.Report).
+	raw any
+}
+
+// Raw returns the engine-native result: *experiment.LatencyResult for
+// Emulation points, *san.TransientResult for SAN points, and
+// *scenario.Report for Scenario points. Only packages inside this module
+// can name those types; external users work with the flattened fields.
+func (r *Result) Raw() any { return r.raw }

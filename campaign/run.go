@@ -1,0 +1,117 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"ctsan/internal/parallel"
+	"ctsan/internal/rng"
+)
+
+// pointSeed resolves the effective seed of point `index`: an explicit
+// per-point seed wins; otherwise a child stream of the study seed, keyed
+// by the index, supplies one — so points are statistically independent
+// yet the whole study is reproducible from a single root seed.
+func (o *options) pointSeed(index int, explicit uint64) uint64 {
+	if explicit != 0 {
+		return explicit
+	}
+	return rng.New(o.seed ^ 0xca_4a16).Child(uint64(index)).Uint64()
+}
+
+// innerWorkers splits the worker budget between the fan-out over points
+// and the Monte-Carlo replicas inside each point (see
+// parallel.InnerWorkers).
+func (o *options) innerWorkers() int {
+	return parallel.InnerWorkers(o.workers, o.totalPoints)
+}
+
+// Run executes every point of the study on the deterministic worker pool
+// and streams results to the attached sinks in point-index order — the
+// first point's result is delivered while later points are still
+// running, yet the emission order (and every result bit) is independent
+// of the worker count.
+//
+// ctx cancels the study cooperatively: between points, between the
+// Monte-Carlo replicas inside SAN and Scenario points, and between the
+// consensus executions inside Emulation points. A canceled run returns
+// ctx.Err() (after closing the sinks, so partial output is flushed).
+func Run(ctx context.Context, study *Study, opts ...Option) error {
+	o := &options{seed: 1}
+	for _, opt := range opts {
+		opt(o)
+	}
+	err := run(ctx, study, o)
+	// Sinks are closed on every exit path — success, validation error,
+	// point failure, cancellation — so partial output is always flushed.
+	for _, s := range o.sinks {
+		if cerr := s.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("campaign: sink close: %w", cerr)
+		}
+	}
+	// Cancellation surfaces as the clean context error, not a wrapped
+	// point failure.
+	if err != nil && ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+		return ctx.Err()
+	}
+	return err
+}
+
+// run validates, prepares, and executes the study (sink closing is Run's
+// job).
+func run(ctx context.Context, study *Study, o *options) error {
+	if study == nil || len(study.Points) == 0 {
+		return errors.New("campaign: study with no points (nothing to run)")
+	}
+	o.totalPoints = len(study.Points)
+
+	// Prepare (and validate) every point before anything runs: a typo in
+	// point 7 must not cost the six campaigns before it.
+	runners := make([]pointRunner, len(study.Points))
+	for i, p := range study.Points {
+		if p == nil {
+			return fmt.Errorf("campaign: study point %d is nil", i)
+		}
+		r, err := p.prepare(o, i)
+		if err != nil {
+			return err
+		}
+		runners[i] = r
+	}
+
+	total := len(runners)
+	return parallel.Stream(ctx, o.workers, total,
+		func(_, i int) (*Result, error) {
+			res, err := runners[i](ctx)
+			if err != nil {
+				return nil, fmt.Errorf("campaign: point %d (%s): %w", i, label(study.Points[i], i), err)
+			}
+			res.Study = study.Name
+			res.Point = label(study.Points[i], i)
+			res.Index = i
+			return res, nil
+		},
+		func(i int, res *Result) error {
+			for _, s := range o.sinks {
+				if err := s.Emit(res); err != nil {
+					return fmt.Errorf("campaign: sink: %w", err)
+				}
+			}
+			if o.progress != nil {
+				o.progress(i+1, total, res)
+			}
+			return nil
+		})
+}
+
+// RunCollect is Run with an implicit Collect sink: it returns every
+// result in point-index order. Use it when the study is small enough that
+// fold-at-end is fine; attach sinks to Run for streaming consumption.
+func RunCollect(ctx context.Context, study *Study, opts ...Option) ([]*Result, error) {
+	var c Collect
+	if err := Run(ctx, study, append(opts, WithSink(&c))...); err != nil {
+		return nil, err
+	}
+	return c.Results, nil
+}

@@ -1,0 +1,122 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Sink consumes study results as they stream out of Run. Emit is called
+// once per point, in point-index order; calls are serialized (never
+// concurrent with one another) but may arrive on different worker
+// goroutines. Close is called exactly once when the run ends — on
+// success, error, and cancellation alike — so sinks can flush partial
+// output.
+type Sink interface {
+	Emit(*Result) error
+	Close() error
+}
+
+// Collect is the simplest sink: it gathers results into a slice, in
+// point-index order. The zero value is ready to use.
+type Collect struct {
+	Results []*Result
+}
+
+// Emit implements Sink.
+func (c *Collect) Emit(r *Result) error {
+	c.Results = append(c.Results, r)
+	return nil
+}
+
+// Close implements Sink.
+func (c *Collect) Close() error { return nil }
+
+// JSONLWriter streams each result as one JSON object per line (JSON
+// Lines), suitable for piping into jq or loading into dataframes while
+// the study is still running. Raw latency samples are not serialized
+// (see Result.Samples).
+type JSONLWriter struct {
+	enc *json.Encoder
+}
+
+// NewJSONLWriter returns a JSONL sink writing to w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{enc: json.NewEncoder(w)}
+}
+
+// Emit implements Sink.
+func (j *JSONLWriter) Emit(r *Result) error { return j.enc.Encode(r) }
+
+// Close implements Sink.
+func (j *JSONLWriter) Close() error { return nil }
+
+// TableSink renders results as an aligned text table. Rows accumulate as
+// results stream in; the table is written on Close (column widths need
+// the full set).
+type TableSink struct {
+	w    io.Writer
+	rows [][]string
+}
+
+// NewTableSink returns a table sink writing to w on Close.
+func NewTableSink(w io.Writer) *TableSink { return &TableSink{w: w} }
+
+var tableHeader = []string{
+	"point", "engine", "n", "mean[ms]", "p50", "p90", "p99", "aborted", "wrong-susp",
+}
+
+// Emit implements Sink.
+func (t *TableSink) Emit(r *Result) error {
+	ws := "-"
+	if r.Suspicions > 0 || r.WrongSuspicions > 0 {
+		ws = fmt.Sprintf("%d/%d", r.WrongSuspicions, r.Suspicions)
+	}
+	t.rows = append(t.rows, []string{
+		r.Point,
+		r.Engine.String(),
+		fmt.Sprintf("%d", r.Latency.N),
+		fmt.Sprintf("%.3f", r.Latency.Mean),
+		fmt.Sprintf("%.3f", r.Latency.P50),
+		fmt.Sprintf("%.3f", r.Latency.P90),
+		fmt.Sprintf("%.3f", r.Latency.P99),
+		fmt.Sprintf("%d", r.Aborted),
+		ws,
+	})
+	return nil
+}
+
+// Close implements Sink: it renders the accumulated rows.
+func (t *TableSink) Close() error {
+	widths := make([]int, len(tableHeader))
+	for i, h := range tableHeader {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	if _, err := fmt.Fprintln(t.w, line(tableHeader)); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(t.w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,17 +1,22 @@
 // Command fdqos measures the heartbeat failure detector's quality of
 // service (Chen et al. metrics, §3.4/§4) across a grid of timeout values,
 // and prints the SAN failure-detector parameters derived from them — the
-// measurement-to-model pipeline of §5.4.
+// measurement-to-model pipeline of §5.4. The grid is one campaign Study
+// of Emulation points: rows stream out in grid order as soon as each
+// campaign completes, and Ctrl-C cancels cleanly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
+	"os/signal"
 	"strconv"
 	"strings"
 
+	"ctsan/campaign"
+	"ctsan/internal/cliflags"
 	"ctsan/internal/experiment"
 )
 
@@ -20,10 +25,14 @@ func main() {
 		n       = flag.Int("n", 3, "number of processes")
 		execs   = flag.Int("execs", 500, "consensus executions per timeout value")
 		grid    = flag.String("T", "1,2,3,5,7,10,14,20,30,40,70,100", "comma-separated timeout values in ms")
-		seed    = flag.Uint64("seed", 1, "root random seed")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines across timeout values (results are identical at any count)")
+		seed    = cliflags.Seed(flag.CommandLine)
+		workers = cliflags.Workers(flag.CommandLine)
 	)
 	flag.Parse()
+	if err := cliflags.CheckSeed(*seed); err != nil {
+		fmt.Fprintf(os.Stderr, "fdqos: %v\n", err)
+		os.Exit(2)
+	}
 
 	var ts []float64
 	for _, s := range strings.Split(*grid, ",") {
@@ -32,28 +41,37 @@ func main() {
 			fmt.Fprintf(os.Stderr, "fdqos: bad timeout %q: %v\n", s, err)
 			os.Exit(2)
 		}
+		if v <= 0 {
+			// A zero timeout would silently select the oracle detector and
+			// report meaningless QoS; every grid point must be a heartbeat.
+			fmt.Fprintf(os.Stderr, "fdqos: timeout values must be > 0, got %g\n", v)
+			os.Exit(2)
+		}
 		ts = append(ts, v)
 	}
-	specs := make([]experiment.LatencySpec, len(ts))
-	for i, T := range ts {
-		specs[i] = experiment.LatencySpec{
+	study := campaign.NewStudy("fdqos")
+	for _, T := range ts {
+		study.Add(campaign.LatencyPoint{
+			Name:       fmt.Sprintf("T=%g", T),
 			N:          *n,
 			Executions: *execs,
-			Seed:       *seed,
-			FDMode:     experiment.FDHeartbeat,
 			TimeoutT:   T,
-		}
+			Seed:       *seed,
+		})
 	}
-	results, err := experiment.RunLatencySweep(specs, *workers)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "fdqos: %v\n", err)
-		os.Exit(1)
-	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	fmt.Printf("%8s %10s %10s %12s %10s %8s\n", "T [ms]", "T_MR [ms]", "T_M [ms]", "latency[ms]", "mf pairs", "aborted")
-	for i, T := range ts {
-		res := results[i]
-		fmt.Printf("%8.1f %10.2f %10.2f %12.3f %7d/%-3d %8d\n",
-			T, res.QoS.TMR, res.QoS.TM, res.Acc.Mean(),
-			res.QoS.MistakeFree, res.QoS.Pairs, res.Aborted)
+	err := campaign.Run(ctx, study,
+		campaign.WithWorkers(*workers),
+		campaign.WithProgress(func(_, _ int, r *campaign.Result) {
+			res := r.Raw().(*experiment.LatencyResult)
+			fmt.Printf("%8.1f %10.2f %10.2f %12.3f %7d/%-3d %8d\n",
+				ts[r.Index], res.QoS.TMR, res.QoS.TM, res.Acc.Mean(),
+				res.QoS.MistakeFree, res.QoS.Pairs, res.Aborted)
+		}))
+	if err != nil {
+		cliflags.Fail("fdqos", err)
 	}
 }

@@ -9,16 +9,20 @@
 //	      [-fidelity quick|paper] [-scale k] [-seed s] [-workers w]
 //
 // Output is plain text: one block per figure/table, with the paper's
-// reference values quoted in notes for comparison.
+// reference values quoted in notes for comparison. Interrupting the run
+// (Ctrl-C) cancels the in-flight campaigns cleanly at the next execution
+// boundary.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
+	"os/signal"
 	"strings"
 
+	"ctsan/internal/cliflags"
 	"ctsan/internal/experiment"
 )
 
@@ -27,8 +31,8 @@ func main() {
 		what     = flag.String("what", "all", "which artifact to regenerate: all, fig6, fig7a, fig7b, table1, fig8, fig9a, fig9b")
 		fidelity = flag.String("fidelity", "quick", "experiment sizes: quick or paper (paper is slow)")
 		scale    = flag.Float64("scale", 1, "multiply workload sizes by this factor")
-		seed     = flag.Uint64("seed", 1, "root random seed")
-		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for campaign points and replicas (results are identical at any count)")
+		seed     = cliflags.Seed(flag.CommandLine)
+		workers  = cliflags.Workers(flag.CommandLine)
 		quiet    = flag.Bool("q", false, "suppress progress output on stderr")
 		plot     = flag.Bool("plot", false, "append ASCII plots of the figures")
 	)
@@ -54,15 +58,17 @@ func main() {
 		}
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	sel := strings.ToLower(*what)
 	want := func(id string) bool { return sel == "all" || sel == id }
-	if err := run(f, *seed, want, progress, *plot); err != nil {
-		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
-		os.Exit(1)
+	if err := run(ctx, f, *seed, want, progress, *plot); err != nil {
+		cliflags.Fail("repro", err)
 	}
 }
 
-func run(f experiment.Fidelity, seed uint64, want func(string) bool, progress func(string), plot bool) error {
+func run(ctx context.Context, f experiment.Fidelity, seed uint64, want func(string) bool, progress func(string), plot bool) error {
 	out := os.Stdout
 	show := func(fig *experiment.Figure, logX, logY bool) {
 		fig.Fprint(out)
@@ -73,7 +79,7 @@ func run(f experiment.Fidelity, seed uint64, want func(string) bool, progress fu
 	}
 	if want("fig6") {
 		progress("measuring end-to-end delays (Fig. 6)...")
-		fig, _, err := experiment.Fig6(f, seed)
+		fig, _, err := experiment.Fig6(ctx, f, seed)
 		if err != nil {
 			return err
 		}
@@ -81,7 +87,7 @@ func run(f experiment.Fidelity, seed uint64, want func(string) bool, progress fu
 	}
 	if want("fig7a") {
 		progress("running class-1 latency campaigns (Fig. 7a)...")
-		fig, _, err := experiment.Fig7a(f, seed)
+		fig, _, err := experiment.Fig7a(ctx, f, seed)
 		if err != nil {
 			return err
 		}
@@ -89,7 +95,7 @@ func run(f experiment.Fidelity, seed uint64, want func(string) bool, progress fu
 	}
 	if want("fig7b") {
 		progress("sweeping t_send in the SAN model (Fig. 7b)...")
-		fig, best, err := experiment.Fig7b(f, seed)
+		fig, best, err := experiment.Fig7b(ctx, f, seed)
 		if err != nil {
 			return err
 		}
@@ -98,7 +104,7 @@ func run(f experiment.Fidelity, seed uint64, want func(string) bool, progress fu
 	}
 	if want("table1") {
 		progress("running crash scenarios (Table 1)...")
-		tab, err := experiment.Table1(f, seed)
+		tab, err := experiment.Table1(ctx, f, seed)
 		if err != nil {
 			return err
 		}
@@ -107,7 +113,7 @@ func run(f experiment.Fidelity, seed uint64, want func(string) bool, progress fu
 	}
 	if want("fig8") || want("fig9a") || want("fig9b") {
 		progress("running class-3 campaigns (Figs. 8 and 9)...")
-		points, err := experiment.RunClass3(f, seed, progress)
+		points, err := experiment.RunClass3(ctx, f, seed, progress)
 		if err != nil {
 			return err
 		}
@@ -121,7 +127,7 @@ func run(f experiment.Fidelity, seed uint64, want func(string) bool, progress fu
 		}
 		if want("fig9b") {
 			progress("running SAN simulations with measured QoS (Fig. 9b)...")
-			fig, err := experiment.Fig9b(points, f, seed)
+			fig, err := experiment.Fig9b(ctx, points, f, seed)
 			if err != nil {
 				return err
 			}

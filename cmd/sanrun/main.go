@@ -1,6 +1,8 @@
 // Command sanrun builds the paper's SAN model of the ◇S consensus
 // algorithm with explicit parameters and solves it by replicated transient
-// simulation — the UltraSAN half of the paper's methodology.
+// simulation — the UltraSAN half of the paper's methodology. It is a thin
+// shell over the public campaign API: one SANPoint study, cancellable
+// with Ctrl-C.
 //
 // Examples:
 //
@@ -8,54 +10,77 @@
 //	sanrun -n 5 -crash 1                             # class 2
 //	sanrun -n 5 -tmr 20 -tm 2 -fd exp                # class 3 from QoS
 //	sanrun -n 5 -tsend 0.01                          # Fig. 7b sweep point
+//	sanrun -n 5 -json                                # one JSONL result
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
+	"os/signal"
 
-	"ctsan/internal/sanmodel"
+	"ctsan/campaign"
+	"ctsan/internal/cliflags"
 )
 
 func main() {
 	var (
 		n        = flag.Int("n", 3, "number of processes")
 		replicas = flag.Int("replicas", 2000, "transient simulation replicas")
-		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for replicas (results are identical at any count)")
+		workers  = cliflags.Workers(flag.CommandLine)
 		crash    = flag.Int("crash", 0, "initially crashed process (0 = none)")
 		tsend    = flag.Float64("tsend", 0.025, "t_send = t_receive in ms (§5.1)")
 		tmr      = flag.Float64("tmr", 0, "FD mistake recurrence time T_MR in ms (0 = accurate FD)")
 		tm       = flag.Float64("tm", 0, "FD mistake duration T_M in ms")
 		fdKind   = flag.String("fd", "det", "FD sojourn distribution: det or exp (§3.4)")
-		seed     = flag.Uint64("seed", 1, "root random seed")
+		seed     = cliflags.Seed(flag.CommandLine)
+		asJSON   = cliflags.JSON(flag.CommandLine)
 	)
 	flag.Parse()
-
-	p := sanmodel.DefaultParams(*n)
-	p.TSend = *tsend
-	p.TReceive = *tsend
-	if *crash > 0 {
-		p.Crashed = []int{*crash}
-	}
-	if *tmr > 0 {
-		kind := sanmodel.FDDeterministic
-		if *fdKind == "exp" {
-			kind = sanmodel.FDExponential
-		}
-		p.FD = sanmodel.FDModel{TMR: *tmr, TM: *tm, Kind: kind}
-	}
-	res, err := sanmodel.SimulateWorkers(p, *replicas, 1e7, *seed, *workers)
-	if err != nil {
+	if err := cliflags.CheckSeed(*seed); err != nil {
 		fmt.Fprintf(os.Stderr, "sanrun: %v\n", err)
-		os.Exit(1)
+		os.Exit(2)
 	}
-	e := res.ECDF()
-	fmt.Printf("SAN model latency over %d replicas (n=%d):\n", res.Acc.N(), *n)
-	fmt.Printf("  mean   %.3f ms ± %.3f (90%% CI)\n", res.Acc.Mean(), res.Acc.CI(0.90))
-	fmt.Printf("  median %.3f ms   p90 %.3f ms   max %.3f ms\n", e.Quantile(0.5), e.Quantile(0.9), res.Acc.Max())
-	if res.Truncated > 0 {
-		fmt.Printf("  %d replicas discarded (rounds guard or horizon)\n", res.Truncated)
+
+	point := campaign.SANPoint{
+		Name:          fmt.Sprintf("san n=%d", *n),
+		N:             *n,
+		Replicas:      *replicas,
+		TSend:         *tsend,
+		TMR:           *tmr,
+		TM:            *tm,
+		FDExponential: *fdKind == "exp",
+		Seed:          *seed,
 	}
+	if *crash > 0 {
+		point.Crashed = []int{*crash}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	study := campaign.NewStudy("sanrun", point)
+	if *asJSON {
+		if err := campaign.Run(ctx, study,
+			campaign.WithWorkers(*workers),
+			campaign.WithSink(campaign.NewJSONLWriter(os.Stdout))); err != nil {
+			fail(err)
+		}
+		return
+	}
+	results, err := campaign.RunCollect(ctx, study, campaign.WithWorkers(*workers))
+	if err != nil {
+		fail(err)
+	}
+	r := results[0]
+	fmt.Printf("SAN model latency over %d replicas (n=%d):\n", r.Latency.N, *n)
+	fmt.Printf("  mean   %.3f ms ± %.3f (90%% CI)\n", r.Latency.Mean, r.Latency.CI90)
+	fmt.Printf("  median %.3f ms   p90 %.3f ms   max %.3f ms\n", r.Latency.P50, r.Latency.P90, r.Latency.Max)
+	if r.Aborted > 0 {
+		fmt.Printf("  %d replicas discarded (rounds guard or horizon)\n", r.Aborted)
+	}
+}
+
+func fail(err error) {
+	cliflags.Fail("sanrun", err)
 }

@@ -8,18 +8,26 @@
 //	scenario run split-brain gc-storm -replicas 4 -workers 0 -json
 //	scenario run -spec my-scenario.json -execs 100
 //
-// run executes a scenario × replica campaign on the deterministic worker
-// pool: results are bit-identical at any -workers count for a given
-// -seed.
+// run executes the scenarios as one campaign Study on the public
+// campaign API: one Scenario point per name, every point seeded with the
+// same -seed (common random numbers, so scenarios are compared under
+// identical draws), fanned across the deterministic worker pool. Results
+// are bit-identical at any -workers count for a given -seed, stream out
+// in argument order, and Ctrl-C cancels the campaign cleanly.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"runtime"
+	"os/signal"
 
+	"ctsan/campaign"
+	"ctsan/internal/cliflags"
 	"ctsan/internal/scenario"
 )
 
@@ -34,7 +42,14 @@ func main() {
 	case "describe":
 		describe(os.Args[2:])
 	case "run":
-		run(os.Args[2:])
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		if err := runCmd(ctx, os.Args[2:], os.Stdout); err != nil {
+			if errors.Is(err, errUsage) {
+				os.Exit(2) // flag error already printed by the FlagSet
+			}
+			fail(err)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "scenario: unknown command %q\n", os.Args[1])
 		usage()
@@ -133,60 +148,73 @@ func describeEvent(e scenario.Event) string {
 	return string(e.Kind)
 }
 
-func run(args []string) {
-	fs := flag.NewFlagSet("run", flag.ExitOnError)
+// errUsage marks a flag-parse failure whose message the FlagSet already
+// printed; main maps it to the conventional usage-error exit status 2.
+var errUsage = errors.New("usage error")
+
+// runCmd parses run-subcommand flags and executes the campaign, writing
+// the report (table or JSON) to out. Factored from main so the golden
+// test can pin the public JSON schema.
+func runCmd(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	var (
 		replicas = fs.Int("replicas", 1, "independent replicas per scenario")
 		execs    = fs.Int("execs", 0, "consensus executions per replica (0 = per-scenario default)")
-		workers  = fs.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines across (scenario, replica) units")
-		seed     = fs.Uint64("seed", 1, "campaign root seed")
-		asJSON   = fs.Bool("json", false, "emit reports as JSON")
+		workers  = cliflags.Workers(fs)
+		seed     = cliflags.Seed(fs)
+		asJSON   = cliflags.JSON(fs)
 		specFile = fs.String("spec", "", "path to a JSON scenario definition to run")
 	)
 	if err := fs.Parse(args); err != nil {
-		os.Exit(2)
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // usage already printed
+		}
+		// fs.Parse already printed the message and usage; report a bare
+		// usage error so main exits 2 without printing it twice.
+		return errUsage
 	}
-	var scenarios []*scenario.Scenario
+	if err := cliflags.CheckSeed(*seed); err != nil {
+		return err
+	}
+	study := campaign.NewStudy("scenario-run")
 	if *specFile != "" {
 		data, err := os.ReadFile(*specFile)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		s, err := scenario.LoadJSON(data)
-		if err != nil {
-			fail(err)
-		}
-		scenarios = append(scenarios, s)
+		study.Add(campaign.ScenarioPoint{
+			SpecJSON:   data,
+			Replicas:   *replicas,
+			Executions: *execs,
+			Seed:       *seed,
+		})
 	}
 	for _, name := range fs.Args() {
-		s, err := scenario.Get(name)
-		if err != nil {
-			fail(err)
-		}
-		scenarios = append(scenarios, s)
+		study.Add(campaign.ScenarioPoint{
+			Name:       name,
+			Replicas:   *replicas,
+			Executions: *execs,
+			Seed:       *seed,
+		})
 	}
-	if len(scenarios) == 0 {
-		fail(fmt.Errorf("run: need scenario names or -spec (known: %v)", scenario.Names()))
+	if len(study.Points) == 0 {
+		return fmt.Errorf("run: need scenario names or -spec (known: %v)", scenario.Names())
 	}
-	reports, err := scenario.RunCampaign(scenario.CampaignSpec{
-		Scenarios:  scenarios,
-		Replicas:   *replicas,
-		Executions: *execs,
-		Workers:    *workers,
-		Seed:       *seed,
-	})
+	results, err := campaign.RunCollect(ctx, study, campaign.WithWorkers(*workers))
 	if err != nil {
-		fail(err)
+		return err
+	}
+	reports := make([]*scenario.Report, len(results))
+	for i, r := range results {
+		reports[i] = r.Raw().(*scenario.Report)
 	}
 	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(reports); err != nil {
-			fail(err)
-		}
-		return
+		return enc.Encode(reports)
 	}
-	scenario.ReportTable(reports).Fprint(os.Stdout)
+	scenario.ReportTable(reports).Fprint(out)
+	return nil
 }
 
 // firstSentence truncates a doc string at its first sentence end.
@@ -200,6 +228,5 @@ func firstSentence(doc string) string {
 }
 
 func fail(err error) {
-	fmt.Fprintf(os.Stderr, "scenario: %v\n", err)
-	os.Exit(1)
+	cliflags.Fail("scenario", err)
 }

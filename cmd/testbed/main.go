@@ -1,6 +1,9 @@
 // Command testbed runs one measurement campaign on the emulated cluster
 // and prints summary statistics — the "experiments on a cluster of PCs"
-// half of the paper's methodology.
+// half of the paper's methodology. Plain and scenario campaigns run on
+// the public campaign API (one Study, cancellable with Ctrl-C); the
+// -throughput and -transient extensions drive the internal harness
+// directly.
 //
 // Examples:
 //
@@ -11,11 +14,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
+	"os/signal"
 
+	"ctsan/campaign"
+	"ctsan/internal/cliflags"
 	"ctsan/internal/experiment"
 	"ctsan/internal/neko"
 	"ctsan/internal/scenario"
@@ -29,18 +35,23 @@ func main() {
 		t          = flag.Float64("T", 0, "heartbeat FD timeout in ms (0 = perfect oracle FD)")
 		th         = flag.Float64("Th", 0, "heartbeat period in ms (0 = 0.7*T)")
 		gap        = flag.Float64("gap", 10, "separation between execution starts in ms (§4)")
-		seed       = flag.Uint64("seed", 1, "root random seed")
-		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for modes that fan out (scenario campaigns); results are identical at any count")
+		seed       = cliflags.Seed(flag.CommandLine)
+		workers    = cliflags.Workers(flag.CommandLine)
 		scn        = flag.String("scenario", "", "run a named injection scenario from the registry (see cmd/scenario list) instead of a plain campaign")
 		replicas   = flag.Int("replicas", 1, "independent replicas of the scenario campaign")
 		throughput = flag.Bool("throughput", false, "chain executions back to back and report the decision rate (§6 extension)")
 		transient  = flag.Bool("transient", false, "crash -crash mid-campaign under a live heartbeat FD and report the latency transient (§6 extension)")
 	)
 	flag.Parse()
+	if err := cliflags.CheckSeed(*seed); err != nil {
+		fmt.Fprintf(os.Stderr, "testbed: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *scn != "" {
 		// Scenarios fix their own cluster shape, FD, and workload; reject
-		// flags that would silently not apply.
+		// flags that would silently not apply. This check runs before any
+		// mode dispatch so -scenario -throughput cannot slip through.
 		override := 0
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
@@ -51,7 +62,9 @@ func main() {
 				os.Exit(2)
 			}
 		})
-		runScenario(*scn, override, *replicas, *workers, *seed)
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		runScenario(ctx, *scn, override, *replicas, *workers, *seed)
 		return
 	}
 	if *throughput {
@@ -63,57 +76,58 @@ func main() {
 		return
 	}
 
-	spec := experiment.LatencySpec{
+	// The campaign-backed paths honor cancellation; the §6 extension
+	// modes above keep the default SIGINT behavior (their internal
+	// harness takes no context), so the handler is installed only on the
+	// ctx-consuming paths.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	point := campaign.LatencyPoint{
+		Name:       fmt.Sprintf("testbed n=%d", *n),
 		N:          *n,
 		Executions: *execs,
 		Gap:        *gap,
+		TimeoutT:   *t,
+		PeriodTh:   *th,
 		Seed:       *seed,
 	}
 	if *crash > 0 {
-		spec.Crashed = []neko.ProcessID{neko.ProcessID(*crash)}
+		point.Crashed = []int{*crash}
 	}
-	if *t > 0 {
-		spec.FDMode = experiment.FDHeartbeat
-		spec.TimeoutT = *t
-		spec.PeriodTh = *th
-	}
-	res, err := experiment.RunLatency(spec)
+	results, err := campaign.RunCollect(ctx, campaign.NewStudy("testbed", point),
+		campaign.WithWorkers(*workers))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "testbed: %v\n", err)
-		os.Exit(1)
+		cliflags.Fail("testbed", err)
 	}
-	e := res.ECDF()
-	fmt.Printf("latency over %d executions (n=%d):\n", len(res.Latencies), *n)
-	fmt.Printf("  mean   %.3f ms ± %.3f (90%% CI)\n", res.Acc.Mean(), res.Acc.CI(0.90))
+	r := results[0]
+	res := r.Raw().(*experiment.LatencyResult)
+	fmt.Printf("latency over %d executions (n=%d):\n", r.Latency.N, *n)
+	fmt.Printf("  mean   %.3f ms ± %.3f (90%% CI)\n", r.Latency.Mean, r.Latency.CI90)
 	fmt.Printf("  median %.3f ms   p90 %.3f ms   min %.3f   max %.3f\n",
-		e.Quantile(0.5), e.Quantile(0.9), res.Acc.Min(), res.Acc.Max())
-	fmt.Printf("  mean deciding round %.2f, aborted executions %d\n", res.MeanRounds(), res.Aborted)
+		r.Latency.P50, r.Latency.P90, r.Latency.Min, r.Latency.Max)
+	fmt.Printf("  mean deciding round %.2f, aborted executions %d\n", res.MeanRounds(), r.Aborted)
 	if *t > 0 {
-		fmt.Printf("  failure detector QoS over T_exp=%.0f ms: %s\n", res.Texp, res.QoS)
+		fmt.Printf("  failure detector QoS over T_exp=%.0f ms: %s\n", r.Texp, res.QoS)
 	}
-	fmt.Printf("  simulated %.0f ms of cluster time in %d events\n", res.Texp, res.Events)
+	fmt.Printf("  simulated %.0f ms of cluster time in %d events\n", r.Texp, r.Events)
 }
 
 // runScenario executes a named registry scenario as a replica campaign
-// on the worker pool.
-func runScenario(name string, execs, replicas, workers int, seed uint64) {
-	s, err := scenario.Get(name)
+// through the public surface.
+func runScenario(ctx context.Context, name string, execs, replicas, workers int, seed uint64) {
+	results, err := campaign.RunCollect(ctx,
+		campaign.NewStudy("testbed-scenario", campaign.ScenarioPoint{
+			Name:       name,
+			Replicas:   replicas,
+			Executions: execs,
+			Seed:       seed,
+		}),
+		campaign.WithWorkers(workers))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "testbed: %v\n", err)
-		os.Exit(1)
+		cliflags.Fail("testbed", err)
 	}
-	reports, err := scenario.RunCampaign(scenario.CampaignSpec{
-		Scenarios:  []*scenario.Scenario{s},
-		Replicas:   replicas,
-		Executions: execs,
-		Workers:    workers,
-		Seed:       seed,
-	})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "testbed: %v\n", err)
-		os.Exit(1)
-	}
-	scenario.ReportTable(reports).Fprint(os.Stdout)
+	scenario.ReportTable([]*scenario.Report{results[0].Raw().(*scenario.Report)}).Fprint(os.Stdout)
 }
 
 // runThroughput executes the §6 throughput extension: consensus #(k+1)

@@ -4,14 +4,28 @@
 // algorithm analyzed both by measurements on an emulated cluster and by
 // transient simulation of a Stochastic Activity Network model.
 //
-// The evaluation campaigns — thousands of Monte-Carlo replicas of the SAN
-// model and thousands of emulated consensus executions per figure — run on
-// a deterministic worker pool (internal/parallel): replicas and campaign
-// points fan out across the CPUs, yet every result is bit-identical at any
-// worker count because each work unit draws from a per-index child random
-// stream and results are folded in index order. See PERFORMANCE.md for the
-// scheme and the -workers flag of cmd/repro, cmd/sanrun, cmd/fdqos, and
-// cmd/scenario.
+// The public entry point is the campaign package (ctsan/campaign): a
+// Study is a named grid of Points, each bound to one of the three
+// engines the methodology spans — SAN (transient simulation of the §3
+// model), Emulation (measurement campaigns on the emulated cluster of
+// §4), and Scenario (declarative fault/workload timelines). One
+// campaign.Run(ctx, study, opts...) call executes any mix of them with
+// functional options (WithSeed, WithWorkers, WithReplicas, WithProgress,
+// WithSink), streaming per-point results to Sink implementations
+// (Collect, JSONLWriter, TableSink) in deterministic point-index order,
+// and honoring context cancellation down to execution and replica
+// boundaries. See campaign's package example for the same latency study
+// run on both the model and the emulator.
+//
+// Under the public surface, the evaluation campaigns — thousands of
+// Monte-Carlo replicas of the SAN model and thousands of emulated
+// consensus executions per figure — run on a deterministic worker pool
+// (internal/parallel): replicas and campaign points fan out across the
+// CPUs, yet every result is bit-identical at any worker count because
+// each work unit draws from a per-index child random stream and results
+// are folded (and now streamed) in index order. See PERFORMANCE.md for
+// the scheme and the shared -workers/-seed flags (internal/cliflags) of
+// cmd/repro, cmd/sanrun, cmd/fdqos, cmd/testbed, and cmd/scenario.
 //
 // Above the emulator sits the declarative scenario layer
 // (internal/scenario): timelines of correlated adverse conditions —
@@ -22,9 +36,10 @@
 // PauseAt, PhaseAt), and fanned as scenario × replica campaigns through
 // the worker pool. A registry of named built-ins (paper-baseline,
 // crash-n3-anomaly, rolling-crash, split-brain, gc-storm, burst-load,
-// flaky-link) is exposed by cmd/scenario (list, describe, run) and the
-// -scenario flag of cmd/testbed; reports carry latency percentiles,
-// ground-truthed wrong-suspicion rates, and decision throughput.
+// flaky-link) is exposed by cmd/scenario (list, describe, run — whose
+// -json report schema is pinned by a golden test) and the -scenario flag
+// of cmd/testbed; reports carry latency percentiles, ground-truthed
+// wrong-suspicion rates, and decision throughput.
 //
 // See README.md for the layout, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for the reproduced tables and figures. The benchmarks in

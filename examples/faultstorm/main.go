@@ -9,6 +9,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -18,6 +19,8 @@ import (
 )
 
 func main() {
+	flag.Parse()
+
 	storm := scenario.New("custom-faultstorm", 5).
 		WithExecutions(300).
 		WithHeartbeat(25, 0).

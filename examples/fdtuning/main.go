@@ -1,15 +1,19 @@
 // Fdtuning: explore the failure-detector tuning trade-off of §2.4 — a
 // small timeout T detects crashes quickly but makes wrong suspicions
 // (hurting consensus latency); a large T is accurate but slow to detect.
-// The example sweeps T, reporting the QoS metrics, the consensus latency,
-// and the crash detection time T_D measured by injecting a crash.
+// The example sweeps T as one campaign Study of Emulation points
+// (reporting the QoS metrics and the consensus latency as the rows
+// stream out in grid order), then measures the crash detection time T_D
+// directly by injecting a crash.
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 
-	"ctsan/internal/experiment"
+	"ctsan/campaign"
 	"ctsan/internal/fd"
 	"ctsan/internal/neko"
 	"ctsan/internal/netsim"
@@ -17,19 +21,26 @@ import (
 )
 
 func main() {
+	flag.Parse()
+
 	const n = 5
-	fmt.Printf("%8s %12s %10s %12s %12s\n", "T [ms]", "T_MR [ms]", "T_M [ms]", "latency[ms]", "T_D [ms]")
-	for _, T := range []float64{2, 5, 10, 20, 40, 80} {
-		res, err := experiment.RunLatency(experiment.LatencySpec{
-			N: n, Executions: 300, Seed: 7,
-			FDMode: experiment.FDHeartbeat, TimeoutT: T,
+	grid := []float64{2, 5, 10, 20, 40, 80}
+	study := campaign.NewStudy("fd-tuning")
+	for _, T := range grid {
+		study.Add(campaign.LatencyPoint{
+			Name: fmt.Sprintf("T=%g", T), N: n, Executions: 300,
+			TimeoutT: T, Seed: 7,
 		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		td := detectionTime(n, T)
-		fmt.Printf("%8.0f %12.2f %10.2f %12.3f %12.2f\n",
-			T, res.QoS.TMR, res.QoS.TM, res.Acc.Mean(), td)
+	}
+	fmt.Printf("%8s %12s %10s %12s %12s\n", "T [ms]", "T_MR [ms]", "T_M [ms]", "latency[ms]", "T_D [ms]")
+	err := campaign.Run(context.Background(), study,
+		campaign.WithProgress(func(_, _ int, r *campaign.Result) {
+			T := grid[r.Index]
+			fmt.Printf("%8.0f %12.2f %10.2f %12.3f %12.2f\n",
+				T, r.TMR, r.TM, r.Latency.Mean, detectionTime(n, T))
+		}))
+	if err != nil {
+		log.Fatal(err)
 	}
 	fmt.Println("\nsmall T: frequent wrong suspicions (small T_MR) inflate latency;")
 	fmt.Println("large T: accurate but crashes take ~T+T_h to detect (T_D).")

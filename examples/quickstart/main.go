@@ -4,6 +4,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -15,6 +16,8 @@ import (
 )
 
 func main() {
+	flag.Parse()
+
 	const n = 5
 	cluster, err := netsim.New(netsim.DefaultParams(n), rng.New(42))
 	if err != nil {

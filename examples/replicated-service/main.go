@@ -12,6 +12,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"sync"
@@ -43,6 +44,8 @@ func decode(v int64) (idx, amount int64) { return v >> 32, v & 0xffffffff }
 var accounts = []string{"alice", "bob", "carol"}
 
 func main() {
+	flag.Parse()
+
 	const n = 3
 	cluster := realnet.NewInProcCluster(n, func(err error) { log.Println(err) })
 	replicas := make([]*replica, n+1)

@@ -1,46 +1,46 @@
-// Sanlatency: build and solve the paper's SAN model directly through the
-// sanmodel/san APIs — the modeling half of the methodology. It runs the
-// three classes of runs of §2.4 and prints the latency distributions, then
-// demonstrates the raw SAN engine on a hand-built M/M/1 queue to show the
-// formalism is general, not consensus-specific.
+// Sanlatency: solve the paper's SAN model through the public campaign
+// API — the modeling half of the methodology as one three-point Study
+// covering the three classes of runs of §2.4 — then demonstrate the raw
+// SAN engine on a hand-built M/M/1 queue to show the formalism is
+// general, not consensus-specific.
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 
+	"ctsan/campaign"
 	"ctsan/internal/dist"
 	"ctsan/internal/rng"
 	"ctsan/internal/san"
-	"ctsan/internal/sanmodel"
 )
 
 func main() {
-	// Class 1: no crashes, accurate failure detectors.
-	p := sanmodel.DefaultParams(5)
-	show("class 1 (no failures, no suspicions)", p)
+	flag.Parse()
 
-	// Class 2: the first coordinator is initially crashed.
-	p = sanmodel.DefaultParams(5)
-	p.Crashed = []int{1}
-	show("class 2 (coordinator crash)", p)
-
-	// Class 3: wrong suspicions with QoS T_MR = 20 ms, T_M = 2 ms.
-	p = sanmodel.DefaultParams(5)
-	p.FD = sanmodel.FDModel{TMR: 20, TM: 2, Kind: sanmodel.FDExponential}
-	show("class 3 (wrong suspicions, exp FD)", p)
-
-	mm1()
-}
-
-func show(title string, p sanmodel.Params) {
-	res, err := sanmodel.Simulate(p, 2000, 1e6, 4)
+	study := campaign.NewStudy("three-classes",
+		// Class 1: no crashes, accurate failure detectors.
+		campaign.SANPoint{Name: "class 1 (no failures, no suspicions)", N: 5},
+		// Class 2: the first coordinator is initially crashed.
+		campaign.SANPoint{Name: "class 2 (coordinator crash)", N: 5, Crashed: []int{1}},
+		// Class 3: wrong suspicions with QoS T_MR = 20 ms, T_M = 2 ms.
+		campaign.SANPoint{Name: "class 3 (wrong suspicions, exp FD)", N: 5,
+			TMR: 20, TM: 2, FDExponential: true},
+	)
+	err := campaign.Run(context.Background(), study,
+		campaign.WithSeed(4),
+		campaign.WithReplicas(2000),
+		campaign.WithProgress(func(_, _ int, r *campaign.Result) {
+			fmt.Printf("%-42s mean %.3f ms  p50 %.3f  p90 %.3f\n",
+				r.Point+":", r.Latency.Mean, r.Latency.P50, r.Latency.P90)
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}
-	e := res.ECDF()
-	fmt.Printf("%-42s mean %.3f ms  p50 %.3f  p90 %.3f\n",
-		title+":", res.Acc.Mean(), e.Quantile(0.5), e.Quantile(0.9))
+
+	mm1()
 }
 
 // mm1 builds an M/M/1 queue as a SAN (arrivals, a single server seized by

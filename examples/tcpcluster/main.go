@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"sync"
@@ -18,6 +19,8 @@ import (
 )
 
 func main() {
+	flag.Parse()
+
 	const n = 3
 	cluster, err := realnet.NewTCPCluster(n, func(err error) { log.Println(err) })
 	if err != nil {

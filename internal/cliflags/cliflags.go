@@ -1,0 +1,74 @@
+// Package cliflags centralizes the CLI conventions every binary under
+// cmd/ shares — the campaign root seed, the worker-pool size, and JSON
+// output flags, plus error-exit behavior — so that names, defaults, help
+// text, and exit codes cannot drift between tools (they once did: sanrun
+// described -workers differently from repro). A command registers the
+// flags it needs on its FlagSet:
+//
+//	seed := cliflags.Seed(flag.CommandLine)
+//	workers := cliflags.Workers(flag.CommandLine)
+//	flag.Parse()
+package cliflags
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// Flag names and help text shared by all binaries. Exported so tests can
+// pin them and commands can reference the canonical spelling.
+const (
+	SeedName  = "seed"
+	SeedUsage = "campaign root seed (results are bit-identical for a given seed)"
+
+	WorkersName  = "workers"
+	WorkersUsage = "worker goroutines; 0 = one per CPU, 1 = serial (results are identical at any count)"
+
+	JSONName  = "json"
+	JSONUsage = "emit results as JSON instead of text"
+)
+
+// Seed registers the shared -seed flag (default 1).
+func Seed(fs *flag.FlagSet) *uint64 {
+	return fs.Uint64(SeedName, 1, SeedUsage)
+}
+
+// Workers registers the shared -workers flag. The default 0 resolves to
+// one worker per CPU (parallel.Workers); every campaign in the repository
+// is bit-identical at any worker count.
+func Workers(fs *flag.FlagSet) *int {
+	return fs.Int(WorkersName, 0, WorkersUsage)
+}
+
+// JSON registers the shared -json flag (default false).
+func JSON(fs *flag.FlagSet) *bool {
+	return fs.Bool(JSONName, false, JSONUsage)
+}
+
+// CheckSeed rejects the reserved seed 0. Campaign points treat a zero
+// Seed as "derive one from the study seed and the point index", so a
+// literal 0 cannot be pinned from the command line; accepting it would
+// silently run under different derived seeds and break the
+// "bit-identical for a given seed" help-text promise.
+func CheckSeed(seed uint64) error {
+	if seed == 0 {
+		return fmt.Errorf("-%s 0 is reserved (seeds start at 1)", SeedName)
+	}
+	return nil
+}
+
+// Fail reports err and exits with the shared convention: a canceled
+// campaign (Ctrl-C through signal.NotifyContext) prints "interrupted"
+// and exits with the conventional SIGINT status 130, so scripts can tell
+// an interrupt from a real failure (status 1).
+func Fail(prog string, err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "%s: interrupted\n", prog)
+		os.Exit(130)
+	}
+	fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
+	os.Exit(1)
+}

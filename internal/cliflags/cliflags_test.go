@@ -1,0 +1,57 @@
+package cliflags
+
+import (
+	"flag"
+	"testing"
+)
+
+// TestSharedDefinitions pins the shared names, defaults, and usage
+// strings: every cmd/ binary registers these helpers, so a change here is
+// a deliberate, repository-wide CLI change.
+func TestSharedDefinitions(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	seed := Seed(fs)
+	workers := Workers(fs)
+	asJSON := JSON(fs)
+
+	if *seed != 1 {
+		t.Errorf("seed default = %d, want 1", *seed)
+	}
+	if *workers != 0 {
+		t.Errorf("workers default = %d, want 0 (one per CPU)", *workers)
+	}
+	if *asJSON {
+		t.Error("json must default to false")
+	}
+	for name, usage := range map[string]string{
+		SeedName:    SeedUsage,
+		WorkersName: WorkersUsage,
+		JSONName:    JSONUsage,
+	} {
+		f := fs.Lookup(name)
+		if f == nil {
+			t.Fatalf("flag -%s not registered", name)
+		}
+		if f.Usage != usage {
+			t.Errorf("flag -%s usage drifted: %q", name, f.Usage)
+		}
+	}
+
+	if err := fs.Parse([]string{"-seed", "7", "-workers", "3", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+	if *seed != 7 || *workers != 3 || !*asJSON {
+		t.Errorf("parse: got seed=%d workers=%d json=%v", *seed, *workers, *asJSON)
+	}
+}
+
+// TestCheckSeed pins the reserved-zero rule: campaign points treat Seed 0
+// as "derive", so a CLI must not pretend to pin it.
+func TestCheckSeed(t *testing.T) {
+	if err := CheckSeed(0); err == nil {
+		t.Error("seed 0 must be rejected")
+	}
+	if err := CheckSeed(1); err != nil {
+		t.Errorf("seed 1 rejected: %v", err)
+	}
+}

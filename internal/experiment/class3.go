@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -28,7 +29,7 @@ type Class3Point struct {
 // in grid order regardless of worker count. progress (may be nil) receives
 // one line per point as it completes — in completion order, which under
 // parallelism need not be grid order.
-func RunClass3(f Fidelity, seed uint64, progress func(string)) ([]Class3Point, error) {
+func RunClass3(ctx context.Context, f Fidelity, seed uint64, progress func(string)) ([]Class3Point, error) {
 	type gridPoint struct {
 		n int
 		T float64
@@ -40,9 +41,9 @@ func RunClass3(f Fidelity, seed uint64, progress func(string)) ([]Class3Point, e
 		}
 	}
 	var progressMu sync.Mutex
-	out, err := parallel.Map(f.Workers, len(grid), func(_, i int) (Class3Point, error) {
+	out, err := parallel.Map(ctx, f.Workers, len(grid), func(_, i int) (Class3Point, error) {
 		n, T := grid[i].n, grid[i].T
-		res, err := RunLatency(LatencySpec{
+		res, err := RunLatencyContext(ctx, LatencySpec{
 			N:          n,
 			Executions: f.QoSExecs,
 			Seed:       seed + uint64(n)*1000 + uint64(T*10),
@@ -153,8 +154,8 @@ func Fig9a(points []Class3Point) *Figure {
 // Fig9b reproduces Fig. 9(b): measured latency vs SAN simulation fed with
 // the measured QoS metrics, under deterministic and exponential FD sojourn
 // distributions, for the simulated system sizes (paper: n = 3 and 5).
-func Fig9b(points []Class3Point, f Fidelity, seed uint64) (*Figure, error) {
-	fits, err := MeasureFits(f, seed, f.SimNs)
+func Fig9b(ctx context.Context, points []Class3Point, f Fidelity, seed uint64) (*Figure, error) {
+	fits, err := MeasureFits(ctx, f, seed, f.SimNs)
 	if err != nil {
 		return nil, err
 	}
@@ -178,13 +179,13 @@ func Fig9b(points []Class3Point, f Fidelity, seed uint64) (*Figure, error) {
 		// fan them out and fold in point order.
 		type simPair struct{ det, exp float64 }
 		inner := innerWorkers(f.Workers, len(kept))
-		pairs, err := parallel.Map(f.Workers, len(kept), func(_, i int) (simPair, error) {
+		pairs, err := parallel.Map(ctx, f.Workers, len(kept), func(_, i int) (simPair, error) {
 			p := kept[i]
 			var out simPair
 			for _, kind := range []sanmodel.FDDistKind{sanmodel.FDDeterministic, sanmodel.FDExponential} {
 				sp := fits.SANParams(n, 0.025)
 				sp.FD = fdModelFromQoS(p.QoS, kind)
-				res, err := sanmodel.SimulateWorkers(sp, f.Replicas, 1e6, seed+uint64(n)*17+uint64(p.T), inner)
+				res, err := sanmodel.SimulateContext(ctx, sp, f.Replicas, 1e6, seed+uint64(n)*17+uint64(p.T), inner)
 				if err != nil {
 					return simPair{}, err
 				}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"ctsan/internal/neko"
@@ -60,6 +61,17 @@ func (p *probeProto) emit() {
 // probe: for unicast, the end-to-end delay; for broadcast, the delay
 // "averaged over the destinations" as in Fig. 6.
 func MeasureDelays(spec DelaySpec) ([]float64, error) {
+	return MeasureDelaysContext(context.Background(), spec)
+}
+
+// MeasureDelaysContext is MeasureDelays with an entry cancellation check:
+// one probe campaign is a single uninterruptible DES run (seconds at
+// paper fidelity), so ctx gates whether it starts; fan-outs over several
+// campaigns cancel between them.
+func MeasureDelaysContext(ctx context.Context, spec DelaySpec) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if spec.N < 2 {
 		return nil, fmt.Errorf("experiment: delay measurement needs n >= 2")
 	}

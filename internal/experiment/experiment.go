@@ -17,6 +17,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -126,6 +127,7 @@ func (s *LatencySpec) validate() error {
 
 // campaign is the run-time state of RunLatency.
 type campaign struct {
+	ctx     context.Context
 	spec    LatencySpec
 	cluster *netsim.Cluster
 	engines []*consensus.Engine
@@ -151,7 +153,14 @@ type campaign struct {
 
 // RunLatency executes a latency campaign and returns its results.
 func RunLatency(spec LatencySpec) (*LatencyResult, error) {
-	c, err := runCampaign(spec, nil)
+	return RunLatencyContext(context.Background(), spec)
+}
+
+// RunLatencyContext is RunLatency with cooperative cancellation: ctx is
+// checked between consensus executions, so a canceled campaign stops at
+// the next execution boundary and returns ctx.Err().
+func RunLatencyContext(ctx context.Context, spec LatencySpec) (*LatencyResult, error) {
+	c, err := runCampaign(ctx, spec, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -161,7 +170,7 @@ func RunLatency(spec LatencySpec) (*LatencyResult, error) {
 // runCampaign is the campaign core. hook (may be nil) runs after the
 // cluster is built and started, before the first execution — used by the
 // crash-transient experiment to inject mid-run crashes.
-func runCampaign(spec LatencySpec, hook func(*campaign)) (*campaign, error) {
+func runCampaign(ctx context.Context, spec LatencySpec, hook func(*campaign)) (*campaign, error) {
 	if err := spec.validate(); err != nil {
 		return nil, err
 	}
@@ -171,6 +180,7 @@ func runCampaign(spec LatencySpec, hook func(*campaign)) (*campaign, error) {
 		return nil, err
 	}
 	c := &campaign{
+		ctx:     ctx,
 		spec:    spec,
 		cluster: cluster,
 		engines: make([]*consensus.Engine, spec.N+1),
@@ -319,6 +329,13 @@ func (c *campaign) closeExec(k int) {
 		}
 	}
 	if k+1 >= c.spec.Executions {
+		c.running = false
+		return
+	}
+	if err := c.ctx.Err(); err != nil {
+		// Cancellation lands at execution boundaries: the campaign stops
+		// scheduling and surfaces the clean context error.
+		c.err = err
 		c.running = false
 		return
 	}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -83,13 +84,13 @@ type Fits struct {
 // delays on the cluster and fit bi-modal uniform mixtures. The unicast and
 // per-n broadcast measurements are independent campaigns and run
 // concurrently under f.Workers.
-func MeasureFits(f Fidelity, seed uint64, ns []int) (*Fits, error) {
+func MeasureFits(ctx context.Context, f Fidelity, seed uint64, ns []int) (*Fits, error) {
 	type fitOut struct {
 		n int
 		b fit.Bimodal
 	}
 	// Index 0 is the unicast campaign; 1..len(ns) the broadcast ones.
-	fits, err := parallel.Map(f.Workers, len(ns)+1, func(_, i int) (fitOut, error) {
+	fits, err := parallel.Map(ctx, f.Workers, len(ns)+1, func(_, i int) (fitOut, error) {
 		spec := DelaySpec{N: 3, Count: f.DelayProbes, Seed: seed}
 		n := 0
 		if i > 0 {
@@ -142,12 +143,12 @@ func cdfSeries(label string, e *stats.ECDF, hi float64, steps int) Series {
 
 // Fig6 reproduces Fig. 6: the cumulative distribution of the end-to-end
 // delay of unicast and broadcast messages, and reports the bi-modal fits.
-func Fig6(f Fidelity, seed uint64) (*Figure, *Fits, error) {
-	fits, err := MeasureFits(f, seed, []int{3, 5})
+func Fig6(ctx context.Context, f Fidelity, seed uint64) (*Figure, *Fits, error) {
+	fits, err := MeasureFits(ctx, f, seed, []int{3, 5})
 	if err != nil {
 		return nil, nil, err
 	}
-	uni, err := MeasureDelays(DelaySpec{N: 3, Count: f.DelayProbes, Seed: seed})
+	uni, err := MeasureDelaysContext(ctx, DelaySpec{N: 3, Count: f.DelayProbes, Seed: seed})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -162,9 +163,9 @@ func Fig6(f Fidelity, seed uint64) (*Figure, *Fits, error) {
 	}
 	fig.Series = append(fig.Series, cdfSeries("unicast", stats.NewECDF(uni), 0.6, f.CDFGridSteps))
 	bns := []int{3, 5}
-	bcs, err := parallel.Map(f.Workers, len(bns), func(_, i int) ([]float64, error) {
+	bcs, err := parallel.Map(ctx, f.Workers, len(bns), func(_, i int) ([]float64, error) {
 		n := bns[i]
-		return MeasureDelays(DelaySpec{N: n, Count: f.DelayProbes, Broadcast: true, Seed: seed + uint64(n)})
+		return MeasureDelaysContext(ctx, DelaySpec{N: n, Count: f.DelayProbes, Broadcast: true, Seed: seed + uint64(n)})
 	})
 	if err != nil {
 		return nil, nil, err
@@ -178,7 +179,7 @@ func Fig6(f Fidelity, seed uint64) (*Figure, *Fits, error) {
 
 // Fig7a reproduces Fig. 7(a): the latency CDF from measurements for every
 // n, plus the §5.2 mean values.
-func Fig7a(f Fidelity, seed uint64) (*Figure, map[int]*LatencyResult, error) {
+func Fig7a(ctx context.Context, f Fidelity, seed uint64) (*Figure, map[int]*LatencyResult, error) {
 	fig := &Figure{
 		ID:     "FIG7a",
 		Title:  "cumulative distribution of consensus latency (measurements, no failures, no suspicions)",
@@ -189,7 +190,7 @@ func Fig7a(f Fidelity, seed uint64) (*Figure, map[int]*LatencyResult, error) {
 	for i, n := range f.Ns {
 		specs[i] = LatencySpec{N: n, Executions: f.Executions, Seed: seed}
 	}
-	sweep, err := RunLatencySweep(specs, f.Workers)
+	sweep, err := RunLatencySweepContext(ctx, specs, f.Workers)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -225,12 +226,12 @@ func paperClass1Mean(n int) string {
 // same end-to-end delay but varying t_send, against the measured CDF. The
 // t_send whose curve best matches the measurement (KS distance) is
 // reported — the paper selects 0.025 ms this way.
-func Fig7b(f Fidelity, seed uint64) (*Figure, float64, error) {
-	fits, err := MeasureFits(f, seed, []int{5})
+func Fig7b(ctx context.Context, f Fidelity, seed uint64) (*Figure, float64, error) {
+	fits, err := MeasureFits(ctx, f, seed, []int{5})
 	if err != nil {
 		return nil, 0, err
 	}
-	meas, err := RunLatency(LatencySpec{N: 5, Executions: f.Executions, Seed: seed})
+	meas, err := RunLatencyContext(ctx, LatencySpec{N: 5, Executions: f.Executions, Seed: seed})
 	if err != nil {
 		return nil, 0, err
 	}
@@ -250,10 +251,10 @@ func Fig7b(f Fidelity, seed uint64) (*Figure, float64, error) {
 		mean float64
 	}
 	inner := innerWorkers(f.Workers, len(f.TSendSweep))
-	sweep, err := parallel.Map(f.Workers, len(f.TSendSweep), func(_, i int) (sweepOut, error) {
+	sweep, err := parallel.Map(ctx, f.Workers, len(f.TSendSweep), func(_, i int) (sweepOut, error) {
 		ts := f.TSendSweep[i]
 		p := fits.SANParams(5, ts)
-		res, err := sanmodel.SimulateWorkers(p, f.Replicas, 1e6, seed+uint64(ts*1e4), inner)
+		res, err := sanmodel.SimulateContext(ctx, p, f.Replicas, 1e6, seed+uint64(ts*1e4), inner)
 		if err != nil {
 			return sweepOut{}, err
 		}
@@ -280,8 +281,8 @@ func Fig7b(f Fidelity, seed uint64) (*Figure, float64, error) {
 
 // Table1 reproduces Table 1: latency for the crash scenarios, measured for
 // every n and simulated for the SimNs.
-func Table1(f Fidelity, seed uint64) (*Table, error) {
-	fits, err := MeasureFits(f, seed, f.SimNs)
+func Table1(ctx context.Context, f Fidelity, seed uint64) (*Table, error) {
+	fits, err := MeasureFits(ctx, f, seed, f.SimNs)
 	if err != nil {
 		return nil, err
 	}
@@ -322,10 +323,10 @@ func Table1(f Fidelity, seed uint64) (*Table, error) {
 		}
 	}
 	inner := innerWorkers(f.Workers, len(jobs))
-	cells, err := parallel.Map(f.Workers, len(jobs), func(_, i int) ([]string, error) {
+	cells, err := parallel.Map(ctx, f.Workers, len(jobs), func(_, i int) ([]string, error) {
 		job := jobs[i]
 		sc := scenarios[job.scenario]
-		res, err := RunLatency(LatencySpec{N: job.n, Executions: f.Executions, Seed: seed, Crashed: sc.crashed})
+		res, err := RunLatencyContext(ctx, LatencySpec{N: job.n, Executions: f.Executions, Seed: seed, Crashed: sc.crashed})
 		if err != nil {
 			return nil, err
 		}
@@ -337,7 +338,7 @@ func Table1(f Fidelity, seed uint64) (*Table, error) {
 			}
 			p := fits.SANParams(job.n, 0.025)
 			p.Crashed = simCrash
-			sim, err := sanmodel.SimulateWorkers(p, f.Replicas, 1e6, seed+uint64(job.n), inner)
+			sim, err := sanmodel.SimulateContext(ctx, p, f.Replicas, 1e6, seed+uint64(job.n), inner)
 			if err != nil {
 				return nil, err
 			}

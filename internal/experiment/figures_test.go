@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -22,7 +23,7 @@ func tinyFidelity() Fidelity {
 }
 
 func TestFig6(t *testing.T) {
-	fig, fits, err := Fig6(tinyFidelity(), 1)
+	fig, fits, err := Fig6(context.Background(), tinyFidelity(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func TestFig6(t *testing.T) {
 }
 
 func TestFig7a(t *testing.T) {
-	fig, results, err := Fig7a(tinyFidelity(), 1)
+	fig, results, err := Fig7a(context.Background(), tinyFidelity(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestFig7a(t *testing.T) {
 
 func TestFig7b(t *testing.T) {
 	f := tinyFidelity()
-	fig, best, err := Fig7b(f, 1)
+	fig, best, err := Fig7b(context.Background(), f, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestFig7b(t *testing.T) {
 }
 
 func TestTable1(t *testing.T) {
-	tab, err := Table1(tinyFidelity(), 1)
+	tab, err := Table1(context.Background(), tinyFidelity(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestTable1(t *testing.T) {
 
 func TestClass3AndFigs89(t *testing.T) {
 	f := tinyFidelity()
-	points, err := RunClass3(f, 1, nil)
+	points, err := RunClass3(context.Background(), f, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestClass3AndFigs89(t *testing.T) {
 	if len(f9a.Series) != 2 {
 		t.Fatalf("Fig9a series %d", len(f9a.Series))
 	}
-	f9b, err := Fig9b(points, f, 1)
+	f9b, err := Fig9b(context.Background(), points, f, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

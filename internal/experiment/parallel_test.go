@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"testing"
 
 	"ctsan/internal/neko"
@@ -55,7 +56,7 @@ func TestClass3DeterministicAcrossWorkers(t *testing.T) {
 	f.TGrid = []float64{5, 30}
 	run := func(workers int) []Class3Point {
 		f.Workers = workers
-		pts, err := RunClass3(f, 3, nil)
+		pts, err := RunClass3(context.Background(), f, 3, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,31 +1,36 @@
 package experiment
 
-import "ctsan/internal/parallel"
+import (
+	"context"
 
-// innerWorkers splits a worker budget between an outer fan-out over
-// `items` independent campaigns and the Monte-Carlo replicas inside each:
-// the product of outer and inner concurrency stays near the budget instead
-// of multiplying into budget² goroutines. With many campaign points the
-// inner simulations run serially; with few points the leftover budget goes
-// to their replicas.
+	"ctsan/internal/parallel"
+)
+
+// innerWorkers splits the worker budget between an outer fan-out over
+// `items` independent campaigns and the Monte-Carlo replicas inside each
+// (see parallel.InnerWorkers).
 func innerWorkers(workers, items int) int {
-	w := parallel.Workers(workers)
-	if items < 1 {
-		items = 1
-	}
-	return (w + items - 1) / items
+	return parallel.InnerWorkers(workers, items)
 }
 
 // RunLatencySweep runs independent latency campaigns — one per spec —
 // across at most `workers` goroutines (0 = one per CPU, 1 = serial) and
-// returns the results in spec order. Each campaign owns its cluster,
-// engines and random streams, all derived from its spec's Seed, so the
-// returned results are bit-identical to running the specs serially,
+// returns the results in spec order. It is a thin adapter over
+// RunLatencySweepContext with a background context, kept for call sites
+// that have no context to thread.
+func RunLatencySweep(specs []LatencySpec, workers int) ([]*LatencyResult, error) {
+	return RunLatencySweepContext(context.Background(), specs, workers)
+}
+
+// RunLatencySweepContext is the sweep core: each campaign owns its
+// cluster, engines and random streams, all derived from its spec's Seed,
+// so the returned results are bit-identical to running the specs serially,
 // regardless of the worker count. This is the unit of parallelism for the
 // paper's measurement campaigns: the per-n sweeps of Fig. 7(a)/Table 1 and
-// the (n, T) grid of Figs. 8–9.
-func RunLatencySweep(specs []LatencySpec, workers int) ([]*LatencyResult, error) {
-	return parallel.Map(workers, len(specs), func(_, i int) (*LatencyResult, error) {
-		return RunLatency(specs[i])
+// the (n, T) grid of Figs. 8–9. ctx cancels between campaigns and between
+// the executions inside each campaign.
+func RunLatencySweepContext(ctx context.Context, specs []LatencySpec, workers int) ([]*LatencyResult, error) {
+	return parallel.Map(ctx, workers, len(specs), func(_, i int) (*LatencyResult, error) {
+		return RunLatencyContext(ctx, specs[i])
 	})
 }

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -72,7 +73,7 @@ func RunCrashTransient(spec CrashTransientSpec) (*CrashTransientResult, error) {
 		return nil, err
 	}
 	crashLocal := spec2.Warmup + float64(spec.CrashAfter)*gap - 0.5
-	run, err := runCampaign(spec2, func(c *campaign) {
+	run, err := runCampaign(context.Background(), spec2, func(c *campaign) {
 		c.cluster.CrashAt(spec.CrashID, crashLocal)
 		res.CrashAt = crashLocal
 	})

@@ -5,9 +5,15 @@
 // are interleaved across workers. Combined with per-index random streams
 // (rng.Stream.Child), this yields bit-for-bit reproducible experiments at
 // any worker count.
+//
+// Every entry point takes a context.Context and cancels cooperatively:
+// the pool checks the context between work units (a unit that has started
+// runs to completion), so a canceled campaign stops promptly and returns
+// ctx.Err() without leaving goroutines behind.
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -22,6 +28,20 @@ func Workers(requested int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// InnerWorkers splits a worker budget between an outer fan-out over
+// `items` independent units and the parallelism inside each unit: the
+// product of outer and inner concurrency stays near the budget instead
+// of multiplying into budget² goroutines. With many outer items the
+// inner work runs serially; with few items the leftover budget goes to
+// their inner units.
+func InnerWorkers(workers, items int) int {
+	w := Workers(workers)
+	if items < 1 {
+		items = 1
+	}
+	return (w + items - 1) / items
+}
+
 // ForEach runs fn(worker, i) for every i in [0, n), distributing indices
 // across at most Workers(workers) goroutines via an atomic work counter.
 // Two calls with the same worker value never overlap, so callers may keep
@@ -32,12 +52,14 @@ func Workers(requested int) int {
 // on the calling goroutine with worker == 0; this is the reference serial
 // path the parallel schedule must be indistinguishable from.
 //
-// If any fn returns an error, remaining indices may be skipped and the
-// error observed for the lowest index is returned. A panic in fn is
-// re-raised on the calling goroutine.
-func ForEach(workers, n int, fn func(worker, i int) error) error {
+// ctx is checked between work units: once it is canceled no new unit
+// starts, in-flight units finish, and ForEach returns ctx.Err() (unless a
+// unit already failed — fn errors take precedence, and the error observed
+// for the lowest index is returned). A panic in fn is re-raised on the
+// calling goroutine.
+func ForEach(ctx context.Context, workers, n int, fn func(worker, i int) error) error {
 	if n <= 0 {
-		return nil
+		return nil // vacuously complete, like a run whose units all finished
 	}
 	w := Workers(workers)
 	if w > n {
@@ -45,6 +67,9 @@ func ForEach(workers, n int, fn func(worker, i int) error) error {
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(0, i); err != nil {
 				return err
 			}
@@ -53,6 +78,7 @@ func ForEach(workers, n int, fn func(worker, i int) error) error {
 	}
 	var (
 		next   atomic.Int64
+		done   atomic.Int64
 		failed atomic.Bool
 		wg     sync.WaitGroup
 
@@ -84,7 +110,7 @@ func ForEach(workers, n int, fn func(worker, i int) error) error {
 					failed.Store(true)
 				}
 			}()
-			for !failed.Load() {
+			for !failed.Load() && ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -93,6 +119,7 @@ func ForEach(workers, n int, fn func(worker, i int) error) error {
 					fail(i, err)
 					return
 				}
+				done.Add(1)
 			}
 		}(wk)
 	}
@@ -100,15 +127,25 @@ func ForEach(workers, n int, fn func(worker, i int) error) error {
 	if panicSet {
 		panic(panicked)
 	}
-	return firstErr
+	if firstErr != nil {
+		return firstErr
+	}
+	if done.Load() == int64(n) {
+		// Every unit completed before the cancellation landed: the result
+		// set is whole, so report success — exactly what the serial path
+		// does when the last unit finishes under a just-canceled context.
+		return nil
+	}
+	return ctx.Err()
 }
 
 // Map runs fn for every index and collects the results in index order, so
-// the returned slice is identical for any worker count. On error the
-// partial results are discarded and the lowest-index error is returned.
-func Map[T any](workers, n int, fn func(worker, i int) (T, error)) ([]T, error) {
+// the returned slice is identical for any worker count. On error (or
+// cancellation) the partial results are discarded and the lowest-index
+// error — or ctx.Err() — is returned.
+func Map[T any](ctx context.Context, workers, n int, fn func(worker, i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := ForEach(workers, n, func(w, i int) error {
+	err := ForEach(ctx, workers, n, func(w, i int) error {
 		v, err := fn(w, i)
 		if err != nil {
 			return err
@@ -120,4 +157,42 @@ func Map[T any](workers, n int, fn func(worker, i int) (T, error)) ([]T, error) 
 		return nil, err
 	}
 	return out, nil
+}
+
+// Stream is Map with streaming delivery: as soon as the contiguous prefix
+// of results is complete, each result is handed to emit(i, v) in strict
+// index order, regardless of which workers produced them or when. emit
+// calls are serialized (never concurrent with one another) but may run on
+// different worker goroutines; they must not block on the producers.
+//
+// An error from emit aborts the run like an error from fn. On error or
+// cancellation, results already emitted stay emitted — Stream makes no
+// attempt to retract them — and undelivered buffered results are dropped.
+func Stream[T any](ctx context.Context, workers, n int, fn func(worker, i int) (T, error), emit func(i int, v T) error) error {
+	var (
+		mu       sync.Mutex
+		buf      = make([]T, n)
+		ready    = make([]bool, n)
+		nextOut  int
+		emitDead bool // a previous emit failed; never emit again
+	)
+	return ForEach(ctx, workers, n, func(w, i int) error {
+		v, err := fn(w, i)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		buf[i], ready[i] = v, true
+		for !emitDead && nextOut < n && ready[nextOut] {
+			if err := emit(nextOut, buf[nextOut]); err != nil {
+				emitDead = true
+				return err
+			}
+			var zero T
+			buf[nextOut] = zero // release emitted values for the collector
+			nextOut++
+		}
+		return nil
+	})
 }

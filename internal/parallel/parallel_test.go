@@ -1,11 +1,16 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
+
+var bg = context.Background()
 
 func TestWorkersResolution(t *testing.T) {
 	if Workers(3) != 3 {
@@ -20,7 +25,7 @@ func TestForEachCoversEveryIndexOnce(t *testing.T) {
 	for _, w := range []int{1, 2, 7, 64} {
 		const n = 1000
 		var hits [n]atomic.Int32
-		if err := ForEach(w, n, func(_, i int) error {
+		if err := ForEach(bg, w, n, func(_, i int) error {
 			hits[i].Add(1)
 			return nil
 		}); err != nil {
@@ -39,7 +44,7 @@ func TestForEachWorkerSlotsAreExclusive(t *testing.T) {
 	// plain (non-atomic) counter per worker slot under the race detector.
 	const n, w = 2000, 8
 	counts := make([]int, w)
-	if err := ForEach(w, n, func(worker, _ int) error {
+	if err := ForEach(bg, w, n, func(worker, _ int) error {
 		counts[worker]++
 		return nil
 	}); err != nil {
@@ -56,10 +61,10 @@ func TestForEachWorkerSlotsAreExclusive(t *testing.T) {
 
 func TestForEachZeroAndNegativeN(t *testing.T) {
 	called := false
-	if err := ForEach(4, 0, func(_, _ int) error { called = true; return nil }); err != nil || called {
+	if err := ForEach(bg, 4, 0, func(_, _ int) error { called = true; return nil }); err != nil || called {
 		t.Fatal("n=0 must be a no-op")
 	}
-	if err := ForEach(4, -5, func(_, _ int) error { called = true; return nil }); err != nil || called {
+	if err := ForEach(bg, 4, -5, func(_, _ int) error { called = true; return nil }); err != nil || called {
 		t.Fatal("negative n must be a no-op")
 	}
 }
@@ -67,7 +72,7 @@ func TestForEachZeroAndNegativeN(t *testing.T) {
 func TestForEachError(t *testing.T) {
 	sentinel := errors.New("boom")
 	for _, w := range []int{1, 4} {
-		err := ForEach(w, 100, func(_, i int) error {
+		err := ForEach(bg, w, 100, func(_, i int) error {
 			if i == 42 {
 				return fmt.Errorf("index %d: %w", i, sentinel)
 			}
@@ -85,7 +90,7 @@ func TestForEachPanicPropagates(t *testing.T) {
 			t.Fatalf("panic not re-raised on caller: %v", r)
 		}
 	}()
-	_ = ForEach(4, 100, func(_, i int) error {
+	_ = ForEach(bg, 4, 100, func(_, i int) error {
 		if i == 13 {
 			panic("kaboom")
 		}
@@ -94,14 +99,100 @@ func TestForEachPanicPropagates(t *testing.T) {
 	t.Fatal("unreachable: panic expected")
 }
 
+func TestForEachCancellation(t *testing.T) {
+	// A canceled campaign must stop promptly — no new units after the
+	// cancel lands — and return the clean context error.
+	for _, w := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(bg)
+		var started atomic.Int32
+		err := ForEach(ctx, w, 10_000, func(_, i int) error {
+			if started.Add(1) == 5 {
+				cancel()
+			}
+			time.Sleep(100 * time.Microsecond)
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", w, err)
+		}
+		// In-flight units (at most one per worker) may finish after the
+		// cancel; nothing beyond that may start.
+		if got := started.Load(); got > int32(5+w) {
+			t.Fatalf("workers=%d: %d units started after cancellation at unit 5", w, got)
+		}
+	}
+}
+
+func TestForEachCompletedRunBeatsCancellation(t *testing.T) {
+	// When every unit has completed, a cancellation that landed during the
+	// final units must not turn the whole (fully computed) run into an
+	// error — serial and parallel paths must agree on success.
+	const n = 4
+	for _, w := range []int{1, n} {
+		ctx, cancel := context.WithCancel(bg)
+		var claimed sync.WaitGroup
+		if w == n {
+			claimed.Add(n)
+		}
+		err := ForEach(ctx, w, n, func(_, i int) error {
+			if w == n {
+				// Barrier: every unit is in flight before anyone cancels,
+				// so no unit can be skipped.
+				claimed.Done()
+				claimed.Wait()
+			}
+			if i == n-1 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if err != nil {
+			t.Fatalf("workers=%d: completed run reported %v, want nil", w, err)
+		}
+	}
+}
+
+func TestForEachPreCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(bg)
+	cancel()
+	called := false
+	err := ForEach(ctx, 4, 100, func(_, _ int) error { called = true; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if called {
+		t.Fatal("no unit may start under a pre-canceled context")
+	}
+}
+
+func TestForEachUnitErrorBeatsCancellation(t *testing.T) {
+	// When a unit fails and the context is canceled, the more informative
+	// unit error wins.
+	sentinel := errors.New("unit failed")
+	ctx, cancel := context.WithCancel(bg)
+	defer cancel()
+	err := ForEach(ctx, 1, 10, func(_, i int) error {
+		if i == 3 {
+			cancel()
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the unit error", err)
+	}
+}
+
 func TestMapOrderIndependentOfWorkers(t *testing.T) {
 	square := func(_, i int) (int, error) { return i * i, nil }
-	ref, err := Map(1, 500, square)
+	ref, err := Map(bg, 1, 500, square)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, w := range []int{2, 3, 16} {
-		got, err := Map(w, 500, square)
+		got, err := Map(bg, w, 500, square)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -114,7 +205,7 @@ func TestMapOrderIndependentOfWorkers(t *testing.T) {
 }
 
 func TestMapError(t *testing.T) {
-	out, err := Map(4, 10, func(_, i int) (int, error) {
+	out, err := Map(bg, 4, 10, func(_, i int) (int, error) {
 		if i >= 5 {
 			return 0, errors.New("bad")
 		}
@@ -122,5 +213,109 @@ func TestMapError(t *testing.T) {
 	})
 	if err == nil || out != nil {
 		t.Fatalf("Map error mishandled: %v %v", out, err)
+	}
+}
+
+func TestStreamEmitsInIndexOrder(t *testing.T) {
+	// Whatever the completion order, emission must be 0, 1, 2, ... with
+	// every index delivered exactly once.
+	for _, w := range []int{1, 2, 8} {
+		const n = 300
+		var got []int
+		err := Stream(bg, w, n,
+			func(_, i int) (int, error) {
+				if i%7 == 0 { // perturb completion order
+					time.Sleep(time.Duration(i%3) * 100 * time.Microsecond)
+				}
+				return i * 10, nil
+			},
+			func(i, v int) error {
+				if v != i*10 {
+					return fmt.Errorf("emit(%d) got value %d", i, v)
+				}
+				got = append(got, i)
+				return nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != n {
+			t.Fatalf("workers=%d: emitted %d of %d results", w, len(got), n)
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("workers=%d: emission order broken at position %d: %d", w, i, v)
+			}
+		}
+	}
+}
+
+func TestStreamEmitsBeforeCompletion(t *testing.T) {
+	// Streaming means early results are delivered while later units are
+	// still running — not folded at the end.
+	release := make(chan struct{})
+	emitted := make(chan int, 4)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		err := Stream(bg, 2, 4,
+			func(_, i int) (int, error) {
+				if i == 3 {
+					<-release // hold the last unit until index 0 was observed emitted
+				}
+				return i, nil
+			},
+			func(i, _ int) error { emitted <- i; return nil })
+		if err != nil {
+			t.Error(err)
+		}
+	}()
+	select {
+	case i := <-emitted:
+		if i != 0 {
+			t.Errorf("first emission = %d, want 0", i)
+		}
+	case <-time.After(5 * time.Second):
+		t.Error("no emission while a later unit was still in flight")
+	}
+	close(release)
+	wg.Wait()
+}
+
+func TestStreamEmitErrorAborts(t *testing.T) {
+	sentinel := errors.New("sink full")
+	var emits atomic.Int32
+	err := Stream(bg, 4, 100,
+		func(_, i int) (int, error) { return i, nil },
+		func(i, _ int) error {
+			emits.Add(1)
+			if i == 10 {
+				return sentinel
+			}
+			return nil
+		})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the emit error", err)
+	}
+	if got := emits.Load(); got != 11 {
+		t.Fatalf("emit called %d times, want exactly 11 (0..10, none after the failure)", got)
+	}
+}
+
+func TestStreamCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(bg)
+	var emitted atomic.Int32
+	err := Stream(ctx, 2, 10_000,
+		func(_, i int) (int, error) { return i, nil },
+		func(i, _ int) error {
+			if emitted.Add(1) == 3 {
+				cancel()
+			}
+			return nil
+		})
+	cancel()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -1,6 +1,7 @@
 package san
 
 import (
+	"context"
 	"testing"
 
 	"ctsan/internal/dist"
@@ -65,7 +66,7 @@ func TestTransientDeterministicAcrossWorkers(t *testing.T) {
 		}
 	}
 	build := func() *Model { return m }
-	ref, err := Transient(build, rng.New(42), spec(1))
+	ref, err := Transient(context.Background(), build, rng.New(42), spec(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestTransientDeterministicAcrossWorkers(t *testing.T) {
 		t.Fatalf("weak reference: %d samples, %d truncated — tune the spec", len(ref.Samples), ref.Truncated)
 	}
 	for _, w := range []int{2, 8} {
-		got, err := Transient(build, rng.New(42), spec(w))
+		got, err := Transient(context.Background(), build, rng.New(42), spec(w))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package san
 
 import (
+	"context"
 	"fmt"
 
 	"ctsan/internal/parallel"
@@ -65,7 +66,10 @@ type replicaOutcome struct {
 // Workers whose build returns the same *Model for consecutive replicas
 // reuse one simulator via Sim.Reset, so the steady-state replica loop does
 // not allocate simulator state.
-func Transient(build func() *Model, r *rng.Stream, spec TransientSpec) (*TransientResult, error) {
+//
+// ctx cancels the study between replicas (a replica that has started runs
+// to completion); a canceled study returns ctx.Err().
+func Transient(ctx context.Context, build func() *Model, r *rng.Stream, spec TransientSpec) (*TransientResult, error) {
 	if spec.Replicas <= 0 {
 		return nil, fmt.Errorf("san: transient study needs at least 1 replica, got %d", spec.Replicas)
 	}
@@ -77,7 +81,7 @@ func Transient(build func() *Model, r *rng.Stream, spec TransientSpec) (*Transie
 	}
 	outs := make([]replicaOutcome, spec.Replicas)
 	sims := make([]*Sim, parallel.Workers(spec.Workers))
-	err := parallel.ForEach(spec.Workers, spec.Replicas, func(w, i int) error {
+	err := parallel.ForEach(ctx, spec.Workers, spec.Replicas, func(w, i int) error {
 		m := build()
 		sim := sims[w]
 		if sim != nil && sim.model == m.rootModel() {

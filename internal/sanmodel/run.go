@@ -1,6 +1,7 @@
 package sanmodel
 
 import (
+	"context"
 	"math"
 
 	"ctsan/internal/rng"
@@ -12,22 +13,31 @@ import (
 // rounds guard trips. Replicas that abort or exceed tmax are discarded and
 // counted in the result's Truncated field. Replicas run on one worker per
 // CPU; results are bit-identical at every worker count (see
-// SimulateWorkers).
+// SimulateContext).
 func Simulate(p Params, replicas int, tmax float64, seed uint64) (*san.TransientResult, error) {
-	return SimulateWorkers(p, replicas, tmax, seed, 0)
+	return SimulateContext(context.Background(), p, replicas, tmax, seed, 0)
 }
 
-// SimulateWorkers is Simulate with an explicit worker count: 0 (or
-// negative) means one per CPU, 1 forces the serial reference path. The
-// model is built once and shared by every replica — it carries no run-time
-// state — and each replica draws from the seed stream's Child(replica), so
-// the returned samples are bit-identical for any worker count.
+// SimulateWorkers is Simulate with an explicit worker count. It is a thin
+// adapter over SimulateContext with a background context, kept for call
+// sites that have no context to thread.
 func SimulateWorkers(p Params, replicas int, tmax float64, seed uint64, workers int) (*san.TransientResult, error) {
+	return SimulateContext(context.Background(), p, replicas, tmax, seed, workers)
+}
+
+// SimulateContext is the transient-study core: workers 0 (or negative)
+// means one per CPU, 1 forces the serial reference path, and ctx cancels
+// the study between replicas. The model is built once and shared by every
+// replica — it carries no run-time state — and each replica draws from the
+// seed stream's Child(replica), so the returned samples are bit-identical
+// for any worker count.
+func SimulateContext(ctx context.Context, p Params, replicas int, tmax float64, seed uint64, workers int) (*san.TransientResult, error) {
 	model, err := Build(p)
 	if err != nil {
 		return nil, err
 	}
 	return san.Transient(
+		ctx,
 		func() *san.Model { return model.SAN },
 		rng.New(seed^0x5a_0de1),
 		san.TransientSpec{

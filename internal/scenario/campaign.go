@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 
 	"ctsan/internal/experiment"
@@ -61,32 +62,54 @@ type Report struct {
 	// DESEvents is the total discrete-event count (cost metric).
 	DESEvents uint64 `json:"des_events"`
 
-	// Acc holds the merged latency moments for programmatic use.
-	Acc stats.Accumulator `json:"-"`
+	// Acc holds the merged latency moments for programmatic use, and
+	// Latencies the raw decided-execution latencies across all replicas in
+	// grid order; neither is part of the JSON report schema.
+	Acc       stats.Accumulator `json:"-"`
+	Latencies []float64         `json:"-"`
 }
 
 // RunCampaign executes every (scenario, replica) pair of the grid on the
 // deterministic worker pool and folds per-scenario reports in grid order.
-// Results are bit-identical at any worker count: each pair owns a child
-// random stream keyed by its flat index, and the fold is serial.
+// It is a thin adapter over RunCampaignContext with a background context,
+// kept for call sites that have no context to thread.
 func RunCampaign(spec CampaignSpec) ([]*Report, error) {
+	return RunCampaignContext(context.Background(), spec)
+}
+
+// RunCampaignContext is the campaign core. Results are bit-identical at
+// any worker count: each (scenario, replica) pair owns a child random
+// stream keyed by its flat grid index, and the fold is serial. ctx
+// cancels between grid units; a canceled campaign returns ctx.Err().
+//
+// The spec is validated up front: an empty scenario list, a non-positive
+// replica count, a negative execution override, and invalid scenarios all
+// fail with a descriptive error instead of silently producing an empty
+// report.
+func RunCampaignContext(ctx context.Context, spec CampaignSpec) ([]*Report, error) {
 	if len(spec.Scenarios) == 0 {
-		return nil, fmt.Errorf("scenario: campaign with no scenarios")
+		return nil, fmt.Errorf("scenario: campaign with no scenarios (nothing to run)")
 	}
 	if spec.Replicas == 0 {
 		spec.Replicas = 1
 	}
 	if spec.Replicas < 1 {
-		return nil, fmt.Errorf("scenario: need at least 1 replica, got %d", spec.Replicas)
+		return nil, fmt.Errorf("scenario: need at least 1 replica per scenario, got %d", spec.Replicas)
 	}
-	for _, s := range spec.Scenarios {
+	if spec.Executions < 0 {
+		return nil, fmt.Errorf("scenario: negative execution override %d", spec.Executions)
+	}
+	for i, s := range spec.Scenarios {
+		if s == nil {
+			return nil, fmt.Errorf("scenario: campaign scenario %d is nil", i)
+		}
 		if err := s.Validate(); err != nil {
 			return nil, err
 		}
 	}
 	seeds := rng.New(spec.Seed ^ 0xca3faa16)
 	units := len(spec.Scenarios) * spec.Replicas
-	results, err := parallel.Map(spec.Workers, units, func(_, i int) (*Result, error) {
+	results, err := parallel.Map(ctx, spec.Workers, units, func(_, i int) (*Result, error) {
 		s := spec.Scenarios[i/spec.Replicas]
 		return Run(s, RunConfig{
 			Executions: spec.Executions,
@@ -116,6 +139,7 @@ func RunCampaign(spec CampaignSpec) ([]*Report, error) {
 			tmr += res.QoS.TMR
 			tm += res.QoS.TM
 		}
+		rep.Latencies = all
 		e := stats.NewECDF(all)
 		rep.Mean = rep.Acc.Mean()
 		rep.CI90 = rep.Acc.CI(0.90)

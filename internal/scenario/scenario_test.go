@@ -1,6 +1,8 @@
 package scenario
 
 import (
+	"context"
+	"errors"
 	"math"
 	"reflect"
 	"strings"
@@ -387,6 +389,31 @@ func TestRunConfigValidation(t *testing.T) {
 	}
 	if _, err := RunCampaign(CampaignSpec{Scenarios: []*Scenario{New("x", 3)}, Replicas: -1}); err == nil {
 		t.Error("negative replicas accepted")
+	}
+	if _, err := RunCampaign(CampaignSpec{Scenarios: []*Scenario{New("x", 3)}, Executions: -5}); err == nil {
+		t.Error("negative execution override accepted")
+	}
+	if _, err := RunCampaign(CampaignSpec{Scenarios: []*Scenario{New("x", 3), nil}}); err == nil {
+		t.Error("nil scenario accepted")
+	}
+	// The errors must be descriptive, not silent empty reports.
+	_, err := RunCampaign(CampaignSpec{})
+	if err == nil || !strings.Contains(err.Error(), "no scenarios") {
+		t.Errorf("empty-campaign error not descriptive: %v", err)
+	}
+}
+
+// TestCampaignCancellation pins the cooperative-cancellation contract: a
+// canceled campaign stops between grid units and returns ctx.Err().
+func TestCampaignCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunCampaignContext(ctx, CampaignSpec{
+		Scenarios: []*Scenario{New("x", 3).WithExecutions(10)},
+		Replicas:  8,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
 
