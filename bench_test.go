@@ -57,8 +57,8 @@ func BenchmarkFig7aLatencyCDFMeasured(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(results[3].Acc.Mean(), "n3-latency-ms")
-		b.ReportMetric(results[5].Acc.Mean(), "n5-latency-ms")
+		b.ReportMetric(results[3].Digest.Mean(), "n3-latency-ms")
+		b.ReportMetric(results[5].Digest.Mean(), "n5-latency-ms")
 	}
 }
 
@@ -145,7 +145,7 @@ func BenchmarkAblationBroadcastModel(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			return res.Acc.Mean()
+			return res.Digest.Mean()
 		}
 		deltaPaper := run(false, []int{2}) - run(false, nil)
 		deltaUni := run(true, []int{2}) - run(true, nil)
@@ -167,7 +167,7 @@ func BenchmarkAblationFDCorrelation(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			return res.Acc.Mean()
+			return res.Digest.Mean()
 		}
 		b.ReportMetric(run(false), "independent-ms")
 		b.ReportMetric(run(true), "correlated-ms")
@@ -189,7 +189,7 @@ func BenchmarkAblationSchedulerQuantum(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			return res.Acc.Mean()
+			return res.Digest.Mean()
 		}
 		b.ReportMetric(run(0.35), "with-quantum-ms")
 		b.ReportMetric(run(0), "without-quantum-ms")

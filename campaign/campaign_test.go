@@ -48,7 +48,7 @@ func TestEmulationMatchesInternalSweep(t *testing.T) {
 			t.Fatal(err)
 		}
 		for i := range points {
-			sameSamples(t, "emulation point", results[i].Samples, ref[i].Latencies)
+			sameSamples(t, "emulation point", results[i].Samples(), ref[i].Digest.Exact())
 			if results[i].Aborted != ref[i].Aborted {
 				t.Fatalf("workers=%d: aborted %d, want %d", w, results[i].Aborted, ref[i].Aborted)
 			}
@@ -72,7 +72,7 @@ func TestSANMatchesInternalSimulate(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sameSamples(t, "san point", results[0].Samples, ref.Samples)
+		sameSamples(t, "san point", results[0].Samples(), ref.Digest.Exact())
 		if results[0].Aborted != ref.Truncated {
 			t.Fatalf("workers=%d: aborted %d, want truncated %d", w, results[0].Aborted, ref.Truncated)
 		}
@@ -108,7 +108,7 @@ func TestScenarioMatchesInternalCampaign(t *testing.T) {
 			t.Fatal(err)
 		}
 		r := results[0]
-		sameSamples(t, "scenario point", r.Samples, ref.Latencies)
+		sameSamples(t, "scenario point", r.Samples(), ref.Digest.Exact())
 		if r.Aborted != ref.Aborted || r.Suspicions != ref.Suspicions ||
 			r.WrongSuspicions != ref.WrongSuspicions || r.Events != ref.DESEvents ||
 			r.Texp != ref.Texp {
@@ -144,7 +144,7 @@ func TestStudyDeterministicAcrossWorkers(t *testing.T) {
 			if got[i].Index != i || got[i].Point != ref[i].Point {
 				t.Fatalf("workers=%d: emission order broken at %d: %q", w, i, got[i].Point)
 			}
-			sameSamples(t, "mixed study point "+ref[i].Point, got[i].Samples, ref[i].Samples)
+			sameSamples(t, "mixed study point "+ref[i].Point, got[i].Samples(), ref[i].Samples())
 			if got[i].Seed != ref[i].Seed {
 				t.Fatalf("workers=%d: derived seed changed: %d vs %d", w, got[i].Seed, ref[i].Seed)
 			}

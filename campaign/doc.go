@@ -37,4 +37,14 @@
 // Collect, JSONLWriter, and TableSink cover programmatic, pipeline, and
 // human consumption. The cmd/ binaries (testbed, sanrun, fdqos,
 // scenario, repro) are thin shells over this package.
+//
+// Memory scales with the study, not with the execution count: every
+// engine folds its samples into a streaming digest (internal/metrics),
+// so a point running millions of executions retains kilobytes, and the
+// Summary percentiles stay exact — bit-identical to the historical
+// raw-slice path — for campaigns up to the digest's exact cap. The raw
+// sample slice earlier revisions carried on every Result is replaced by
+// the Samples method, which derives the ordered samples from the digest
+// while it is exact and returns nil beyond the cap; Quantile queries the
+// digest directly at any scale.
 package campaign

@@ -83,8 +83,8 @@ func (p LatencyPoint) prepare(o *options, index int) (pointRunner, error) {
 			Engine:   Emulation,
 			Seed:     spec.Seed,
 			Replicas: 1,
-			Samples:  res.Latencies,
-			Latency:  summarize(res.Latencies),
+			digest:   &res.Digest,
+			Latency:  summarize(&res.Digest),
 			Aborted:  res.Aborted,
 			Texp:     res.Texp,
 			Events:   res.Events,
@@ -175,8 +175,8 @@ func (p SANPoint) prepare(o *options, index int) (pointRunner, error) {
 			Engine:   SAN,
 			Seed:     seed,
 			Replicas: replicas,
-			Samples:  res.Samples,
-			Latency:  summarize(res.Samples),
+			digest:   &res.Digest,
+			Latency:  summarize(&res.Digest),
 			Aborted:  res.Truncated,
 			raw:      res,
 		}, nil
@@ -263,8 +263,8 @@ func (p ScenarioPoint) prepare(o *options, index int) (pointRunner, error) {
 			Engine:          Scenario,
 			Seed:            spec.Seed,
 			Replicas:        replicas,
-			Samples:         rep.Latencies,
-			Latency:         summarize(rep.Latencies),
+			digest:          &rep.Digest,
+			Latency:         summarize(&rep.Digest),
 			Aborted:         rep.Aborted,
 			Texp:            rep.Texp,
 			Events:          rep.DESEvents,

@@ -1,17 +1,20 @@
 package campaign
 
 import (
-	"ctsan/internal/stats"
+	"math"
+
+	"ctsan/internal/metrics"
 )
 
-// Summary condenses a point's latency samples (milliseconds).
+// Summary condenses a point's latency digest (milliseconds).
 type Summary struct {
-	// N is the number of retained samples.
+	// N is the number of recorded samples.
 	N int `json:"n"`
 	// Mean and CI90 are the sample mean and its 90% confidence half-width.
 	Mean float64 `json:"mean_ms"`
 	CI90 float64 `json:"ci90_ms"`
-	// P50/P90/P99 are empirical quantiles; Min/Max the extremes.
+	// P50/P90/P99 are latency quantiles (exact below the digest's cap,
+	// sketched beyond it); Min/Max the exact extremes.
 	P50 float64 `json:"p50_ms"`
 	P90 float64 `json:"p90_ms"`
 	P99 float64 `json:"p99_ms"`
@@ -19,24 +22,22 @@ type Summary struct {
 	Max float64 `json:"max_ms"`
 }
 
-// summarize folds samples into a Summary. Empty input yields the zero
-// Summary (a point whose every execution aborted).
-func summarize(samples []float64) Summary {
-	if len(samples) == 0 {
+// summarize flattens a digest into a Summary. An empty digest yields the
+// zero Summary (a point whose every execution aborted).
+func summarize(d *metrics.Digest) Summary {
+	if d.N() == 0 {
 		return Summary{}
 	}
-	var acc stats.Accumulator
-	acc.AddAll(samples)
-	e := stats.NewECDF(samples)
+	ps := d.Quantiles(0.50, 0.90, 0.99)
 	return Summary{
-		N:    len(samples),
-		Mean: acc.Mean(),
-		CI90: acc.CI(0.90),
-		P50:  e.Quantile(0.50),
-		P90:  e.Quantile(0.90),
-		P99:  e.Quantile(0.99),
-		Min:  acc.Min(),
-		Max:  acc.Max(),
+		N:    d.N(),
+		Mean: d.Mean(),
+		CI90: d.CI(0.90),
+		P50:  ps[0],
+		P90:  ps[1],
+		P99:  ps[2],
+		Min:  d.Min(),
+		Max:  d.Max(),
 	}
 }
 
@@ -76,14 +77,39 @@ type Result struct {
 	TMR float64 `json:"tmr_ms,omitempty"`
 	TM  float64 `json:"tm_ms,omitempty"`
 
-	// Samples holds the raw retained latency samples in execution order.
-	// They are deliberately outside the JSON schema (JSONL lines stay one
-	// screen wide at paper fidelity); use Collect for programmatic access.
-	Samples []float64 `json:"-"`
+	// digest is the point's streaming latency digest; Latency flattens
+	// it. The digest stays outside the JSON schema (JSONL lines stay one
+	// screen wide at paper fidelity); use Samples or Quantile for
+	// programmatic access.
+	digest *metrics.Digest
 
 	// raw is the engine-native result (*experiment.LatencyResult,
 	// *san.TransientResult, or *scenario.Report).
 	raw any
+}
+
+// Samples returns the retained latency samples in execution order. It
+// replaces the raw sample slice earlier revisions carried on every
+// result: samples are now derived from the point's streaming digest, so
+// they are available exactly while the digest is in exact mode (up to
+// its cap, metrics.DefaultExactCap) and nil beyond it — million-
+// execution campaigns deliberately do not retain raw samples. The slice
+// is the digest's own buffer: callers must not modify it.
+func (r *Result) Samples() []float64 {
+	if r.digest == nil {
+		return nil
+	}
+	return r.digest.Exact()
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the point's latency
+// digest: exact below the digest's cap, a deterministic sketch estimate
+// beyond it, NaN if the point kept no samples.
+func (r *Result) Quantile(q float64) float64 {
+	if r.digest == nil {
+		return math.NaN()
+	}
+	return r.digest.Quantile(q)
 }
 
 // Raw returns the engine-native result: *experiment.LatencyResult for

@@ -35,8 +35,9 @@ func (c *Collect) Close() error { return nil }
 
 // JSONLWriter streams each result as one JSON object per line (JSON
 // Lines), suitable for piping into jq or loading into dataframes while
-// the study is still running. Raw latency samples are not serialized
-// (see Result.Samples).
+// the study is still running. The latency digest is not serialized —
+// only its Summary flattening (see Result.Samples and Result.Quantile
+// for programmatic access).
 type JSONLWriter struct {
 	enc *json.Encoder
 }

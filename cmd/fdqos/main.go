@@ -68,7 +68,7 @@ func main() {
 		campaign.WithProgress(func(_, _ int, r *campaign.Result) {
 			res := r.Raw().(*experiment.LatencyResult)
 			fmt.Printf("%8.1f %10.2f %10.2f %12.3f %7d/%-3d %8d\n",
-				ts[r.Index], res.QoS.TMR, res.QoS.TM, res.Acc.Mean(),
+				ts[r.Index], res.QoS.TMR, res.QoS.TM, res.Digest.Mean(),
 				res.QoS.MistakeFree, res.QoS.Pairs, res.Aborted)
 		}))
 	if err != nil {

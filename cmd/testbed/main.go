@@ -1,9 +1,9 @@
 // Command testbed runs one measurement campaign on the emulated cluster
 // and prints summary statistics — the "experiments on a cluster of PCs"
 // half of the paper's methodology. Plain and scenario campaigns run on
-// the public campaign API (one Study, cancellable with Ctrl-C); the
-// -throughput and -transient extensions drive the internal harness
-// directly.
+// the public campaign API (one Study); the -throughput and -transient
+// extensions drive the internal harness directly. Every mode is
+// cancellable with Ctrl-C and exits 130 when interrupted.
 //
 // Examples:
 //
@@ -48,6 +48,13 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Every mode honors cancellation — including the §6 extension
+	// harnesses, which check their context at instance/execution
+	// boundaries — so Ctrl-C exits with the shared cliflags.Fail
+	// convention (status 130) everywhere.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	if *scn != "" {
 		// Scenarios fix their own cluster shape, FD, and workload; reject
 		// flags that would silently not apply. This check runs before any
@@ -62,26 +69,17 @@ func main() {
 				os.Exit(2)
 			}
 		})
-		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-		defer stop()
 		runScenario(ctx, *scn, override, *replicas, *workers, *seed)
 		return
 	}
 	if *throughput {
-		runThroughput(*n, *execs, *crash, *t, *seed)
+		runThroughput(ctx, *n, *execs, *crash, *t, *seed)
 		return
 	}
 	if *transient {
-		runTransient(*n, *execs, *crash, *t, *seed)
+		runTransient(ctx, *n, *execs, *crash, *t, *seed)
 		return
 	}
-
-	// The campaign-backed paths honor cancellation; the §6 extension
-	// modes above keep the default SIGINT behavior (their internal
-	// harness takes no context), so the handler is installed only on the
-	// ctx-consuming paths.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
 
 	point := campaign.LatencyPoint{
 		Name:       fmt.Sprintf("testbed n=%d", *n),
@@ -132,7 +130,7 @@ func runScenario(ctx context.Context, name string, execs, replicas, workers int,
 
 // runThroughput executes the §6 throughput extension: consensus #(k+1)
 // starts on each process immediately after #k decides there.
-func runThroughput(n, execs, crash int, timeout float64, seed uint64) {
+func runThroughput(ctx context.Context, n, execs, crash int, timeout float64, seed uint64) {
 	spec := experiment.ThroughputSpec{N: n, Executions: execs, Warmup: execs / 10, Seed: seed}
 	if crash > 0 {
 		spec.Crashed = []neko.ProcessID{neko.ProcessID(crash)}
@@ -141,10 +139,9 @@ func runThroughput(n, execs, crash int, timeout float64, seed uint64) {
 		spec.FDMode = experiment.FDHeartbeat
 		spec.TimeoutT = timeout
 	}
-	res, err := experiment.RunThroughput(spec)
+	res, err := experiment.RunThroughputContext(ctx, spec)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "testbed: %v\n", err)
-		os.Exit(1)
+		cliflags.Fail("testbed", err)
 	}
 	fmt.Printf("sequential consensus throughput (n=%d, %d chained executions):\n", n, execs)
 	fmt.Printf("  sustained rate      %.0f decisions/s\n", res.Rate)
@@ -153,20 +150,19 @@ func runThroughput(n, execs, crash int, timeout float64, seed uint64) {
 }
 
 // runTransient executes the §6 crash-transient extension.
-func runTransient(n, execs, crash int, timeout float64, seed uint64) {
+func runTransient(ctx context.Context, n, execs, crash int, timeout float64, seed uint64) {
 	if crash == 0 {
 		crash = 1
 	}
 	if timeout == 0 {
 		timeout = 20
 	}
-	res, err := experiment.RunCrashTransient(experiment.CrashTransientSpec{
+	res, err := experiment.RunCrashTransientContext(ctx, experiment.CrashTransientSpec{
 		N: n, CrashID: neko.ProcessID(crash), CrashAfter: execs / 4, Executions: execs,
 		TimeoutT: timeout, Seed: seed,
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "testbed: %v\n", err)
-		os.Exit(1)
+		cliflags.Fail("testbed", err)
 	}
 	fmt.Printf("crash transient (n=%d, p%d crashes after execution %d, T=%g ms):\n", n, crash, execs/4, timeout)
 	fmt.Printf("  steady state before crash  %.3f ms\n", res.SteadyBefore)

@@ -27,6 +27,16 @@
 // the scheme and the shared -workers/-seed flags (internal/cliflags) of
 // cmd/repro, cmd/sanrun, cmd/fdqos, cmd/testbed, and cmd/scenario.
 //
+// All three engines observe their samples through the streaming metrics
+// core (internal/metrics): per-execution latencies fold into a
+// constant-memory Digest — exact Welford moments plus quantiles that are
+// exact (and bit-identical to the historical sort-the-slice path) up to
+// a configurable cap and deterministically sketched beyond it — instead
+// of being retained as raw slices. campaign.Result.Samples is therefore
+// a method lazily derived from the digest: it returns the ordered
+// samples for campaigns under the exact cap and nil for the
+// million-execution campaigns that deliberately do not retain them.
+//
 // Above the emulator sits the declarative scenario layer
 // (internal/scenario): timelines of correlated adverse conditions —
 // process crashes and recoveries, network partitions and heals, per-link

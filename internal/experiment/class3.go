@@ -54,8 +54,8 @@ func RunClass3(ctx context.Context, f Fidelity, seed uint64, progress func(strin
 			return Class3Point{}, fmt.Errorf("class3 n=%d T=%g: %w", n, T, err)
 		}
 		pt := Class3Point{N: n, T: T, QoS: res.QoS, Aborted: res.Aborted}
-		if len(res.Latencies) > 0 {
-			pt.Mean = res.Acc.Mean()
+		if res.Digest.N() > 0 {
+			pt.Mean = res.Digest.Mean()
 			pt.ECDF = res.ECDF()
 		}
 		if progress != nil {
@@ -190,9 +190,9 @@ func Fig9b(ctx context.Context, points []Class3Point, f Fidelity, seed uint64) (
 					return simPair{}, err
 				}
 				if kind == sanmodel.FDDeterministic {
-					out.det = res.Acc.Mean()
+					out.det = res.Digest.Mean()
 				} else {
-					out.exp = res.Acc.Mean()
+					out.exp = res.Digest.Mean()
 				}
 			}
 			return out, nil

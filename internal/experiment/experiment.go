@@ -23,6 +23,7 @@ import (
 
 	"ctsan/internal/consensus"
 	"ctsan/internal/fd"
+	"ctsan/internal/metrics"
 	"ctsan/internal/neko"
 	"ctsan/internal/netsim"
 	"ctsan/internal/rng"
@@ -56,31 +57,34 @@ type LatencySpec struct {
 	Seed       uint64
 }
 
-// LatencyResult aggregates a latency campaign.
+// LatencyResult aggregates a latency campaign. Per-execution samples
+// stream into the Digest as executions close, so a campaign's retained
+// memory is bounded regardless of its execution count (exact up to
+// metrics.DefaultExactCap samples, sketched beyond).
 type LatencyResult struct {
-	Latencies []float64 // first-decision latency per completed execution, ms
-	Rounds    []int     // deciding round per completed execution
-	Acc       stats.Accumulator
-	Aborted   int     // executions where no process decided (MaxRounds/deadline)
-	Texp      float64 // total experiment duration (global ms), QoS denominator
-	QoS       fd.QoS  // valid for FDHeartbeat campaigns
-	History   *fd.History
-	Events    uint64 // DES events executed (cost metric)
+	// Digest summarizes the first-decision latency of every completed
+	// execution (ms): moments, extremes, and quantiles.
+	Digest metrics.Digest
+	// Rounds accumulates the deciding round of every completed execution.
+	Rounds  stats.Accumulator
+	Aborted int     // executions where no process decided (MaxRounds/deadline)
+	Texp    float64 // total experiment duration (global ms), QoS denominator
+	QoS     fd.QoS  // valid for FDHeartbeat campaigns
+	History *fd.History
+	Events  uint64 // DES events executed (cost metric)
 }
 
-// ECDF returns the empirical CDF of the latencies.
-func (r *LatencyResult) ECDF() *stats.ECDF { return stats.NewECDF(r.Latencies) }
+// ECDF returns the empirical CDF of the latencies: exact (built from
+// the digest's retained samples) up to the digest cap, a sketch-grid
+// approximation beyond it.
+func (r *LatencyResult) ECDF() *stats.ECDF { return r.Digest.ECDF() }
 
 // MeanRounds returns the average deciding round.
 func (r *LatencyResult) MeanRounds() float64 {
-	if len(r.Rounds) == 0 {
+	if r.Rounds.N() == 0 {
 		return math.NaN()
 	}
-	s := 0
-	for _, v := range r.Rounds {
-		s += v
-	}
-	return float64(s) / float64(len(r.Rounds))
+	return r.Rounds.Mean()
 }
 
 // validate applies defaults and sanity-checks the spec.
@@ -134,9 +138,12 @@ type campaign struct {
 	crashed map[neko.ProcessID]bool
 	res     *LatencyResult
 	correct int
-	// execOrder records which execution index produced each entry of
-	// res.Latencies (watchdogged executions leave gaps).
-	execOrder []int
+	// rec receives each completed execution's latency; it defaults to the
+	// result digest. trace, when set by a hook (the crash-transient
+	// harness), additionally observes (execution index, latency) pairs —
+	// watchdogged executions produce no trace call.
+	rec   metrics.Recorder
+	trace func(k int, lat float64)
 
 	// Current execution state.
 	running  bool
@@ -187,6 +194,7 @@ func runCampaign(ctx context.Context, spec LatencySpec, hook func(*campaign)) (*
 		crashed: make(map[neko.ProcessID]bool, len(spec.Crashed)),
 		res:     &LatencyResult{History: &fd.History{}},
 	}
+	c.rec = &c.res.Digest
 	for _, id := range spec.Crashed {
 		c.crashed[id] = true
 	}
@@ -316,10 +324,11 @@ func (c *campaign) closeExec(k int) {
 	c.closed = true
 	if c.decided {
 		lat := c.firstAt - c.execT0
-		c.res.Latencies = append(c.res.Latencies, lat)
-		c.res.Rounds = append(c.res.Rounds, c.round)
-		c.res.Acc.Add(lat)
-		c.execOrder = append(c.execOrder, k)
+		c.rec.Add(lat)
+		c.res.Rounds.Add(float64(c.round))
+		if c.trace != nil {
+			c.trace(k, lat)
+		}
 	} else {
 		c.res.Aborted++
 	}

@@ -32,11 +32,11 @@ func TestClass1MeansMatchPaperShape(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		means[n] = res.Acc.Mean()
+		means[n] = res.Digest.Mean()
 		if res.Aborted != 0 {
 			t.Errorf("n=%d: %d aborted class-1 executions", n, res.Aborted)
 		}
-		if ci := res.Acc.CI(0.90); ci > 0.05 {
+		if ci := res.Digest.CI(0.90); ci > 0.05 {
 			t.Errorf("n=%d: CI half-width %.3f too wide (paper: <0.02 at 5000 executions)", n, ci)
 		}
 		if mr := res.MeanRounds(); mr > 1.05 {
@@ -62,7 +62,7 @@ func TestTable1DirectionsMeasured(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return res.Acc.Mean()
+		return res.Digest.Mean()
 	}
 	for _, n := range []int{3, 5, 7} {
 		base := run(n)
@@ -99,11 +99,12 @@ func TestDeterministicGivenSeed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(a.Latencies) != len(b.Latencies) {
+	al, bl := a.Digest.Exact(), b.Digest.Exact()
+	if len(al) != len(bl) {
 		t.Fatal("different sample counts")
 	}
-	for i := range a.Latencies {
-		if a.Latencies[i] != b.Latencies[i] {
+	for i := range al {
+		if al[i] != bl[i] {
 			t.Fatalf("nondeterministic latency at %d", i)
 		}
 	}
@@ -111,9 +112,10 @@ func TestDeterministicGivenSeed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	cl := c.Digest.Exact()
 	same := true
-	for i := range a.Latencies {
-		if a.Latencies[i] != c.Latencies[i] {
+	for i := range al {
+		if al[i] != cl[i] {
 			same = false
 			break
 		}
@@ -135,7 +137,7 @@ func TestClass3QoSShape(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		pts[T] = point{res.QoS.TMR, res.Acc.Mean()}
+		pts[T] = point{res.QoS.TMR, res.Digest.Mean()}
 	}
 	// At T = 30 and 100 every pair may already be mistake-free, in which
 	// case both report the same censored value (2·T_exp) — require strict

@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -60,13 +62,13 @@ func TestThroughputResourceBound(t *testing.T) {
 		t.Fatal(err)
 	}
 	gap := thr.InterDecision.Mean()
-	if gap <= lat.Acc.Mean()*0.9 {
-		t.Fatalf("inter-decision gap %.3f ms below isolated latency %.3f ms: trailing traffic not accounted", gap, lat.Acc.Mean())
+	if gap <= lat.Digest.Mean()*0.9 {
+		t.Fatalf("inter-decision gap %.3f ms below isolated latency %.3f ms: trailing traffic not accounted", gap, lat.Digest.Mean())
 	}
-	if gap >= 5*lat.Acc.Mean() {
-		t.Fatalf("inter-decision gap %.3f ms implausibly above isolated latency %.3f ms", gap, lat.Acc.Mean())
+	if gap >= 5*lat.Digest.Mean() {
+		t.Fatalf("inter-decision gap %.3f ms implausibly above isolated latency %.3f ms", gap, lat.Digest.Mean())
 	}
-	if thr.Rate < 1000/(5*lat.Acc.Mean()) {
+	if thr.Rate < 1000/(5*lat.Digest.Mean()) {
 		t.Fatalf("rate %.0f/s below the resource bound", thr.Rate)
 	}
 }
@@ -109,6 +111,24 @@ func TestCrashTransient(t *testing.T) {
 	}
 	if res.DetectionTime <= 0 || res.DetectionTime > 3*20+60 {
 		t.Fatalf("detection time %.2f ms implausible for T=20", res.DetectionTime)
+	}
+}
+
+// TestExtensionsCancellation: the §6 extension harnesses were the last
+// SIGINT-kill exceptions — both must now stop at instance/execution
+// boundaries and surface the clean context error.
+func TestExtensionsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunThroughputContext(ctx, ThroughputSpec{
+		N: 3, Executions: 100000, Warmup: 10, Seed: 7,
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("throughput err = %v, want context.Canceled", err)
+	}
+	if _, err := RunCrashTransientContext(ctx, CrashTransientSpec{
+		N: 3, CrashID: 1, CrashAfter: 10, Executions: 100000, TimeoutT: 20, Seed: 7,
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("crash-transient err = %v, want context.Canceled", err)
 	}
 }
 

@@ -200,7 +200,7 @@ func Fig7a(ctx context.Context, f Fidelity, seed uint64) (*Figure, map[int]*Late
 		results[n] = res
 		fig.Series = append(fig.Series, cdfSeries(fmt.Sprintf("%d processes (meas.)", n), res.ECDF(), 6, f.CDFGridSteps))
 		fig.Notes = append(fig.Notes, fmt.Sprintf("n=%d mean latency %.3f ms ± %.3f (90%% CI; paper: %s ms)",
-			n, res.Acc.Mean(), res.Acc.CI(0.90), paperClass1Mean(n)))
+			n, res.Digest.Mean(), res.Digest.CI(0.90), paperClass1Mean(n)))
 	}
 	return fig, results, nil
 }
@@ -259,7 +259,7 @@ func Fig7b(ctx context.Context, f Fidelity, seed uint64) (*Figure, float64, erro
 			return sweepOut{}, err
 		}
 		e := res.ECDF()
-		return sweepOut{e: e, ks: stats.KSDistance(e, measECDF), mean: res.Acc.Mean()}, nil
+		return sweepOut{e: e, ks: stats.KSDistance(e, measECDF), mean: res.Digest.Mean()}, nil
 	})
 	if err != nil {
 		return nil, 0, err
@@ -330,7 +330,7 @@ func Table1(ctx context.Context, f Fidelity, seed uint64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		cell := []string{fmt.Sprintf("%.3f", res.Acc.Mean())}
+		cell := []string{fmt.Sprintf("%.3f", res.Digest.Mean())}
 		if contains(f.SimNs, job.n) {
 			var simCrash []int
 			for _, id := range sc.crashed {
@@ -342,7 +342,7 @@ func Table1(ctx context.Context, f Fidelity, seed uint64) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			cell = append(cell, fmt.Sprintf("%.3f", sim.Acc.Mean()))
+			cell = append(cell, fmt.Sprintf("%.3f", sim.Digest.Mean()))
 		}
 		return cell, nil
 	})

@@ -53,7 +53,7 @@ func TestFig7a(t *testing.T) {
 	if len(fig.Series) != 2 {
 		t.Fatalf("series %d", len(fig.Series))
 	}
-	if results[3].Acc.Mean() >= results[5].Acc.Mean() {
+	if results[3].Digest.Mean() >= results[5].Digest.Mean() {
 		t.Error("latency not increasing with n")
 	}
 	// CDFs end at 1.

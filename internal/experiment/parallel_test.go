@@ -28,18 +28,28 @@ func TestLatencySweepDeterministicAcrossWorkers(t *testing.T) {
 			t.Fatal(err)
 		}
 		for s := range specs {
-			if len(got[s].Latencies) != len(ref[s].Latencies) {
-				t.Fatalf("workers=%d spec %d: %d latencies, want %d",
-					w, s, len(got[s].Latencies), len(ref[s].Latencies))
+			gl, rl := got[s].Digest.Exact(), ref[s].Digest.Exact()
+			if len(gl) != len(rl) {
+				t.Fatalf("workers=%d spec %d: %d latencies, want %d", w, s, len(gl), len(rl))
 			}
-			for i := range ref[s].Latencies {
-				if got[s].Latencies[i] != ref[s].Latencies[i] {
+			for i := range rl {
+				if gl[i] != rl[i] {
 					t.Fatalf("workers=%d spec %d: latency[%d] = %v, want %v (bit-exact)",
-						w, s, i, got[s].Latencies[i], ref[s].Latencies[i])
+						w, s, i, gl[i], rl[i])
 				}
-				if got[s].Rounds[i] != ref[s].Rounds[i] {
-					t.Fatalf("workers=%d spec %d: round[%d] differs", w, s, i)
+			}
+			// The digest's derived statistics must be bit-identical too —
+			// the streaming-metrics determinism contract.
+			for _, q := range []float64{0.5, 0.9, 0.99} {
+				if got[s].Digest.Quantile(q) != ref[s].Digest.Quantile(q) {
+					t.Fatalf("workers=%d spec %d: q=%g differs", w, s, q)
 				}
+			}
+			if got[s].Digest.Mean() != ref[s].Digest.Mean() || got[s].Digest.Var() != ref[s].Digest.Var() {
+				t.Fatalf("workers=%d spec %d: digest moments differ", w, s)
+			}
+			if got[s].Rounds.N() != ref[s].Rounds.N() || got[s].Rounds.Mean() != ref[s].Rounds.Mean() {
+				t.Fatalf("workers=%d spec %d: rounds differ", w, s)
 			}
 			if got[s].Aborted != ref[s].Aborted || got[s].Texp != ref[s].Texp || got[s].Events != ref[s].Events {
 				t.Fatalf("workers=%d spec %d: campaign summary differs", w, s)
@@ -90,12 +100,13 @@ func TestSimulateWorkersDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got.Samples) != len(ref.Samples) || got.Truncated != ref.Truncated {
-		t.Fatalf("shape differs: %d/%d vs %d/%d", len(got.Samples), got.Truncated, len(ref.Samples), ref.Truncated)
+	gs, rs := got.Digest.Exact(), ref.Digest.Exact()
+	if len(gs) != len(rs) || got.Truncated != ref.Truncated {
+		t.Fatalf("shape differs: %d/%d vs %d/%d", len(gs), got.Truncated, len(rs), ref.Truncated)
 	}
-	for i := range ref.Samples {
-		if got.Samples[i] != ref.Samples[i] {
-			t.Fatalf("sample %d = %v, want %v (bit-exact)", i, got.Samples[i], ref.Samples[i])
+	for i := range rs {
+		if gs[i] != rs[i] {
+			t.Fatalf("sample %d = %v, want %v (bit-exact)", i, gs[i], rs[i])
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -45,11 +46,23 @@ type ThroughputResult struct {
 	Events        uint64
 }
 
-// RunThroughput chains consensus executions back to back on each process:
-// process p proposes instance k+1 the moment it finishes instance k. This
-// pipelines rounds across instances (unlike the isolated executions of the
-// latency campaigns) and saturates the coordinator and the medium.
+// RunThroughput chains consensus executions back to back on each process
+// under a background context, kept for call sites that have no context
+// to thread.
 func RunThroughput(spec ThroughputSpec) (*ThroughputResult, error) {
+	return RunThroughputContext(context.Background(), spec)
+}
+
+// RunThroughputContext chains consensus executions back to back on each
+// process: process p proposes instance k+1 the moment it finishes
+// instance k. This pipelines rounds across instances (unlike the
+// isolated executions of the latency campaigns) and saturates the
+// coordinator and the medium.
+//
+// ctx cancels cooperatively at instance boundaries: once it is canceled
+// no process chains a further instance, the cluster run stops, and the
+// function returns ctx.Err().
+func RunThroughputContext(ctx context.Context, spec ThroughputSpec) (*ThroughputResult, error) {
 	if spec.N < 2 {
 		return nil, fmt.Errorf("experiment: throughput needs n >= 2")
 	}
@@ -110,9 +123,17 @@ func RunThroughput(spec ThroughputSpec) (*ThroughputResult, error) {
 
 	remaining := spec.N - len(spec.Crashed)
 	finished := 0
+	canceled := false
 	var chain func(i int, k uint64)
 	chain = func(i int, k uint64) {
 		if k >= uint64(spec.Executions) {
+			finished++
+			return
+		}
+		if ctx.Err() != nil {
+			// Cancellation lands at instance boundaries: this process stops
+			// chaining; the run drains once every process has stopped.
+			canceled = true
 			finished++
 			return
 		}
@@ -137,6 +158,9 @@ func RunThroughput(spec ThroughputSpec) (*ThroughputResult, error) {
 		cluster.StartAt(neko.ProcessID(i), 1.0, func() { chain(i, 0) })
 	}
 	cluster.Run(func() bool { return finished >= remaining })
+	if canceled {
+		return nil, ctx.Err()
+	}
 	res.Events = cluster.Steps()
 
 	// Sustained rate over the post-warmup window.

@@ -39,11 +39,19 @@ type CrashTransientResult struct {
 	SteadyBefore, PeakDuring, SteadyAfter float64
 }
 
-// RunCrashTransient executes the campaign. The crash is injected just
-// before execution CrashAfter starts, so that execution runs against a
-// crashed-but-not-yet-suspected coordinator — the worst case the FD
-// timeout T is tuned against (§2.4 class-1 trade-off discussion).
+// RunCrashTransient executes the campaign with a background context,
+// kept for call sites that have no context to thread.
 func RunCrashTransient(spec CrashTransientSpec) (*CrashTransientResult, error) {
+	return RunCrashTransientContext(context.Background(), spec)
+}
+
+// RunCrashTransientContext executes the campaign. The crash is injected
+// just before execution CrashAfter starts, so that execution runs
+// against a crashed-but-not-yet-suspected coordinator — the worst case
+// the FD timeout T is tuned against (§2.4 class-1 trade-off discussion).
+// ctx cancels at consensus-execution boundaries, like every other
+// campaign in this package.
+func RunCrashTransientContext(ctx context.Context, spec CrashTransientSpec) (*CrashTransientResult, error) {
 	if spec.CrashAfter >= spec.Executions {
 		return nil, fmt.Errorf("experiment: crash point %d beyond campaign %d", spec.CrashAfter, spec.Executions)
 	}
@@ -73,23 +81,24 @@ func RunCrashTransient(spec CrashTransientSpec) (*CrashTransientResult, error) {
 		return nil, err
 	}
 	crashLocal := spec2.Warmup + float64(spec.CrashAfter)*gap - 0.5
-	run, err := runCampaign(context.Background(), spec2, func(c *campaign) {
-		c.cluster.CrashAt(spec.CrashID, crashLocal)
-		res.CrashAt = crashLocal
-	})
-	if err != nil {
-		return nil, err
-	}
-	// Rebuild the per-execution trace: the campaign records only decided
-	// executions, with execOrder giving each entry's execution index.
+	// The per-execution trace is collected through the campaign's trace
+	// hook as executions close (undecided executions keep their NaN), so
+	// the campaign itself retains no raw sample slice.
 	res.Latency = make([]float64, spec.Executions)
 	for i := range res.Latency {
 		res.Latency[i] = math.NaN()
 	}
-	for i, k := range run.execOrder {
-		if i < len(run.res.Latencies) && k < len(res.Latency) {
-			res.Latency[k] = run.res.Latencies[i]
+	run, err := runCampaign(ctx, spec2, func(c *campaign) {
+		c.cluster.CrashAt(spec.CrashID, crashLocal)
+		res.CrashAt = crashLocal
+		c.trace = func(k int, lat float64) {
+			if k < len(res.Latency) {
+				res.Latency[k] = lat
+			}
 		}
+	})
+	if err != nil {
+		return nil, err
 	}
 	tds := fd.DetectionTimes(run.res.History, spec.CrashID, crashLocal, spec.N)
 	sum, cnt := 0.0, 0

@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"ctsan/internal/rng"
+	"ctsan/internal/stats"
+)
+
+// BenchmarkCampaignMemory compares the two result-plumbing strategies at
+// campaign scale: the historical slice path (append every latency, then
+// sort for percentiles — what experiment.LatencyResult, scenario.Report,
+// and campaign.Result did before the streaming refactor) against the
+// digest path, at 10k and 1M executions. Beyond wall clock and
+// allocs/op, each sub-benchmark reports the retained result footprint as
+// the custom metric retained-B: what a campaign holds per replica after
+// the run, which is the quantity that caps concurrent campaign width.
+func BenchmarkCampaignMemory(b *testing.B) {
+	for _, n := range []int{10_000, 1_000_000} {
+		b.Run(fmt.Sprintf("slice/execs=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			var retained int
+			for i := 0; i < b.N; i++ {
+				r := rng.New(uint64(i) + 1)
+				var samples []float64
+				var acc stats.Accumulator
+				for j := 0; j < n; j++ {
+					v := r.Exp(1)
+					samples = append(samples, v)
+					acc.Add(v)
+				}
+				sorted := append([]float64(nil), samples...)
+				sort.Float64s(sorted)
+				sink = stats.QuantileSorted(sorted, 0.5) + stats.QuantileSorted(sorted, 0.9) +
+					stats.QuantileSorted(sorted, 0.99) + acc.Mean()
+				retained = 8 * (cap(samples) + cap(sorted))
+			}
+			b.ReportMetric(float64(retained), "retained-B")
+		})
+		b.Run(fmt.Sprintf("digest/execs=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			var retained int
+			for i := 0; i < b.N; i++ {
+				r := rng.New(uint64(i) + 1)
+				var d Digest
+				for j := 0; j < n; j++ {
+					d.Add(r.Exp(1))
+				}
+				sink = d.Quantile(0.5) + d.Quantile(0.9) + d.Quantile(0.99) + d.Mean()
+				retained = d.RetainedBytes()
+			}
+			b.ReportMetric(float64(retained), "retained-B")
+		})
+	}
+}
+
+// sink defeats dead-code elimination of the summary statistics.
+var sink float64
+
+// BenchmarkDigestAdd measures the per-observation cost of the streaming
+// hot path once the digest has settled into sketch mode.
+func BenchmarkDigestAdd(b *testing.B) {
+	var d Digest
+	r := rng.New(1)
+	for i := 0; i < DefaultExactCap*2; i++ {
+		d.Add(r.Exp(1))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Add(r.Exp(1))
+	}
+}

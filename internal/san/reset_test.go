@@ -70,8 +70,8 @@ func TestTransientDeterministicAcrossWorkers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ref.Samples) == 0 || ref.Truncated == 0 {
-		t.Fatalf("weak reference: %d samples, %d truncated — tune the spec", len(ref.Samples), ref.Truncated)
+	if ref.Digest.N() == 0 || ref.Truncated == 0 {
+		t.Fatalf("weak reference: %d samples, %d truncated — tune the spec", ref.Digest.N(), ref.Truncated)
 	}
 	for _, w := range []int{2, 8} {
 		got, err := Transient(context.Background(), build, rng.New(42), spec(w))
@@ -81,16 +81,22 @@ func TestTransientDeterministicAcrossWorkers(t *testing.T) {
 		if got.Truncated != ref.Truncated {
 			t.Fatalf("workers=%d: truncated %d, want %d", w, got.Truncated, ref.Truncated)
 		}
-		if len(got.Samples) != len(ref.Samples) {
-			t.Fatalf("workers=%d: %d samples, want %d", w, len(got.Samples), len(ref.Samples))
+		gs, rs := got.Digest.Exact(), ref.Digest.Exact()
+		if len(gs) != len(rs) {
+			t.Fatalf("workers=%d: %d samples, want %d", w, len(gs), len(rs))
 		}
-		for i := range ref.Samples {
-			if got.Samples[i] != ref.Samples[i] {
-				t.Fatalf("workers=%d: sample %d = %v, want %v (bit-exact)", w, i, got.Samples[i], ref.Samples[i])
+		for i := range rs {
+			if gs[i] != rs[i] {
+				t.Fatalf("workers=%d: sample %d = %v, want %v (bit-exact)", w, i, gs[i], rs[i])
 			}
 		}
-		if got.Acc.Mean() != ref.Acc.Mean() || got.Acc.N() != ref.Acc.N() {
-			t.Fatalf("workers=%d: accumulator differs", w)
+		if got.Digest.Mean() != ref.Digest.Mean() || got.Digest.N() != ref.Digest.N() {
+			t.Fatalf("workers=%d: digest moments differ", w)
+		}
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			if got.Digest.Quantile(q) != ref.Digest.Quantile(q) {
+				t.Fatalf("workers=%d: q=%g differs", w, q)
+			}
 		}
 	}
 }

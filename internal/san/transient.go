@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"ctsan/internal/metrics"
 	"ctsan/internal/parallel"
 	"ctsan/internal/rng"
 	"ctsan/internal/stats"
@@ -31,15 +32,17 @@ type TransientSpec struct {
 	Measure func(mk *Marking, t float64) float64
 }
 
-// TransientResult aggregates the per-replica measures.
+// TransientResult aggregates the per-replica measures. Kept replicas
+// fold into the Digest in replica order, so retained memory is bounded
+// by the digest's exact cap regardless of the replica count.
 type TransientResult struct {
-	Acc       stats.Accumulator
-	Samples   []float64
+	Digest    metrics.Digest
 	Truncated int // replicas that hit Tmax without satisfying Stop
 }
 
-// ECDF returns the empirical CDF of the replica measures.
-func (r *TransientResult) ECDF() *stats.ECDF { return stats.NewECDF(r.Samples) }
+// ECDF returns the empirical CDF of the replica measures: exact up to
+// the digest cap, a sketch-grid approximation beyond it.
+func (r *TransientResult) ECDF() *stats.ECDF { return r.Digest.ECDF() }
 
 // replicaOutcome is one replica's contribution before the ordered fold.
 type replicaOutcome struct {
@@ -110,16 +113,15 @@ func Transient(ctx context.Context, build func() *Model, r *rng.Stream, spec Tra
 	if err != nil {
 		return nil, err
 	}
-	// Fold in replica order: the accumulator and sample list are then
+	// Fold in replica order: the digest's moments and quantiles are then
 	// bit-identical to a serial run regardless of scheduling.
-	res := &TransientResult{Samples: make([]float64, 0, spec.Replicas)}
+	res := &TransientResult{}
 	for i := range outs {
 		switch {
 		case outs[i].truncated:
 			res.Truncated++
 		case outs[i].kept:
-			res.Acc.Add(outs[i].v)
-			res.Samples = append(res.Samples, outs[i].v)
+			res.Digest.Add(outs[i].v)
 		}
 	}
 	return res, nil

@@ -33,8 +33,8 @@ func TestTransientEstimatesMean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(res.Acc.Mean()-2) > 0.1 {
-		t.Fatalf("mean stop time %v, want ~2", res.Acc.Mean())
+	if math.Abs(res.Digest.Mean()-2) > 0.1 {
+		t.Fatalf("mean stop time %v, want ~2", res.Digest.Mean())
 	}
 	if res.Truncated != 0 {
 		t.Fatalf("unexpected truncations: %d", res.Truncated)
@@ -81,11 +81,11 @@ func TestTransientMeasureDiscard(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Acc.N() == 0 || res.Acc.N() == 100 {
-		t.Fatalf("discarding Measure kept %d samples", res.Acc.N())
+	if res.Digest.N() == 0 || res.Digest.N() == 100 {
+		t.Fatalf("discarding Measure kept %d samples", res.Digest.N())
 	}
-	if res.Acc.Max() > 2 {
-		t.Fatalf("Measure transform ignored: max %v", res.Acc.Max())
+	if res.Digest.Max() > 2 {
+		t.Fatalf("Measure transform ignored: max %v", res.Digest.Max())
 	}
 }
 

@@ -15,7 +15,7 @@ func TestUnicastBroadcastReproducesAnomaly(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return res.Acc.Mean()
+		return res.Digest.Mean()
 	}
 	// Paper model: participant crash decreases latency at n=3.
 	if part, base := run(false, []int{2}), run(false, nil); part >= base {
@@ -39,7 +39,7 @@ func TestCorrelatedFDBuilds(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return res.Acc.Mean()
+		return res.Digest.Mean()
 	}
 	indep, corr := run(false), run(true)
 	if indep <= 0 || corr <= 0 {

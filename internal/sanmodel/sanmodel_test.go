@@ -47,7 +47,7 @@ func TestClass1Decides(t *testing.T) {
 		if res.Truncated != 0 {
 			t.Fatalf("n=%d: %d truncated replicas in a failure-free run", n, res.Truncated)
 		}
-		if res.Acc.Mean() <= 0 {
+		if res.Digest.Mean() <= 0 {
 			t.Fatalf("n=%d: non-positive latency", n)
 		}
 	}
@@ -60,7 +60,7 @@ func TestLatencyGrowsWithN(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		means[n] = res.Acc.Mean()
+		means[n] = res.Digest.Mean()
 	}
 	if !(means[3] < means[5] && means[5] < means[7]) {
 		t.Fatalf("latency not increasing in n: %v (contention model broken)", means)
@@ -88,11 +88,11 @@ func TestTable1Directions(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if coord.Acc.Mean() <= base.Acc.Mean() {
-			t.Errorf("n=%d: coordinator crash %.3f !> no crash %.3f", n, coord.Acc.Mean(), base.Acc.Mean())
+		if coord.Digest.Mean() <= base.Digest.Mean() {
+			t.Errorf("n=%d: coordinator crash %.3f !> no crash %.3f", n, coord.Digest.Mean(), base.Digest.Mean())
 		}
-		if part.Acc.Mean() >= base.Acc.Mean() {
-			t.Errorf("n=%d: participant crash %.3f !< no crash %.3f (single-broadcast model, §5.3)", n, part.Acc.Mean(), base.Acc.Mean())
+		if part.Digest.Mean() >= base.Digest.Mean() {
+			t.Errorf("n=%d: participant crash %.3f !< no crash %.3f (single-broadcast model, §5.3)", n, part.Digest.Mean(), base.Digest.Mean())
 		}
 	}
 }
@@ -130,7 +130,7 @@ func TestFDQoSMonotonicity(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return res.Acc.Mean()
+		return res.Digest.Mean()
 	}
 	clean := lat(0)
 	good := lat(500)
@@ -151,7 +151,7 @@ func TestFDKindsDiffer(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return res.Acc.Mean()
+		return res.Digest.Mean()
 	}
 	det := mean(FDDeterministic)
 	exp := mean(FDExponential)

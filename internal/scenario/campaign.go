@@ -5,9 +5,9 @@ import (
 	"fmt"
 
 	"ctsan/internal/experiment"
+	"ctsan/internal/metrics"
 	"ctsan/internal/parallel"
 	"ctsan/internal/rng"
-	"ctsan/internal/stats"
 )
 
 // CampaignSpec fans a scenario × replica grid across the worker pool.
@@ -62,11 +62,14 @@ type Report struct {
 	// DESEvents is the total discrete-event count (cost metric).
 	DESEvents uint64 `json:"des_events"`
 
-	// Acc holds the merged latency moments for programmatic use, and
-	// Latencies the raw decided-execution latencies across all replicas in
-	// grid order; neither is part of the JSON report schema.
-	Acc       stats.Accumulator `json:"-"`
-	Latencies []float64         `json:"-"`
+	// Digest holds the streaming latency statistics (moments and
+	// quantiles) merged across all replicas in grid order, for
+	// programmatic use; it is not part of the JSON report schema. It
+	// subsumes the raw per-execution latency slice earlier revisions
+	// retained here: below the exact cap its quantiles are bit-identical
+	// to the old sort-the-slice path, and Digest.Exact still exposes the
+	// ordered samples.
+	Digest metrics.Digest `json:"-"`
 }
 
 // RunCampaign executes every (scenario, replica) pair of the grid on the
@@ -124,12 +127,14 @@ func RunCampaignContext(ctx context.Context, spec CampaignSpec) ([]*Report, erro
 	reports := make([]*Report, len(spec.Scenarios))
 	for si, s := range spec.Scenarios {
 		rep := &Report{Scenario: s.Name, Doc: s.Doc, Replicas: spec.Replicas}
-		var all []float64
 		var tmr, tm float64
+		// Merge per-replica digests serially in grid order: exact-mode
+		// merges replay samples, so the report statistics are bit-identical
+		// to the historical fold over the concatenated latency slice (and
+		// to any worker count).
 		for ri := 0; ri < spec.Replicas; ri++ {
 			res := results[si*spec.Replicas+ri]
-			rep.Acc.AddAll(res.Latencies)
-			all = append(all, res.Latencies...)
+			rep.Digest.Merge(&res.Digest)
 			rep.Decided += res.Decided
 			rep.Aborted += res.Aborted
 			rep.Texp += res.Texp
@@ -139,14 +144,11 @@ func RunCampaignContext(ctx context.Context, spec CampaignSpec) ([]*Report, erro
 			tmr += res.QoS.TMR
 			tm += res.QoS.TM
 		}
-		rep.Latencies = all
-		e := stats.NewECDF(all)
-		rep.Mean = rep.Acc.Mean()
-		rep.CI90 = rep.Acc.CI(0.90)
-		rep.P50 = e.Quantile(0.50)
-		rep.P90 = e.Quantile(0.90)
-		rep.P99 = e.Quantile(0.99)
-		rep.Max = rep.Acc.Max()
+		ps := rep.Digest.Quantiles(0.50, 0.90, 0.99)
+		rep.Mean = rep.Digest.Mean()
+		rep.CI90 = rep.Digest.CI(0.90)
+		rep.P50, rep.P90, rep.P99 = ps[0], ps[1], ps[2]
+		rep.Max = rep.Digest.Max()
 		if rep.Texp > 0 {
 			rep.DecisionsPerSec = float64(rep.Decided) / rep.Texp * 1000
 			rep.WrongSuspPerSec = float64(rep.WrongSuspicions) / rep.Texp * 1000

@@ -6,9 +6,11 @@ import (
 
 	"ctsan/internal/consensus"
 	"ctsan/internal/fd"
+	"ctsan/internal/metrics"
 	"ctsan/internal/neko"
 	"ctsan/internal/netsim"
 	"ctsan/internal/rng"
+	"ctsan/internal/stats"
 )
 
 // RunConfig tunes one replica of a scenario. The zero value takes the
@@ -27,12 +29,14 @@ type RunConfig struct {
 	Deadline float64
 }
 
-// Result is the outcome of one scenario replica.
+// Result is the outcome of one scenario replica. Per-execution samples
+// stream into the Digest as executions close, so a replica running
+// millions of executions retains O(1) memory.
 type Result struct {
-	// Latencies holds the first-decision latency of every decided
-	// execution, in execution order; Rounds the deciding rounds.
-	Latencies []float64
-	Rounds    []int
+	// Digest summarizes the first-decision latency of every decided
+	// execution (ms); Rounds accumulates the deciding rounds.
+	Digest metrics.Digest
+	Rounds stats.Accumulator
 	// Decided and Aborted partition the executions.
 	Decided, Aborted int
 	// Texp is the experiment duration (global ms); Events the DES events
@@ -264,8 +268,8 @@ func (r *runner) closeExec(k int) {
 	}
 	r.closed = true
 	if r.decided {
-		r.res.Latencies = append(r.res.Latencies, r.firstAt-r.execT0)
-		r.res.Rounds = append(r.res.Rounds, r.round)
+		r.res.Digest.Add(r.firstAt - r.execT0)
+		r.res.Rounds.Add(float64(r.round))
 		r.res.Decided++
 	} else {
 		r.res.Aborted++

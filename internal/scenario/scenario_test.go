@@ -260,7 +260,7 @@ func TestPaperBaselineMatchesExperiment(t *testing.T) {
 	}
 	var expMean float64
 	for _, r := range results {
-		expMean += r.Acc.Mean()
+		expMean += r.Digest.Mean()
 	}
 	expMean /= float64(len(results))
 

@@ -275,23 +275,32 @@ func (e *ECDF) At(x float64) float64 {
 
 // Quantile returns the q-quantile (0<=q<=1) by linear interpolation.
 func (e *ECDF) Quantile(q float64) float64 {
-	n := len(e.sorted)
+	return QuantileSorted(e.sorted, q)
+}
+
+// QuantileSorted interpolates the q-quantile of an already-sorted
+// sample. It is the single definition of the interpolation rule: both
+// ECDF.Quantile and the exact mode of metrics.Digest call it, so the
+// "digest quantiles are bit-identical to the slice path" contract
+// cannot drift between two copies of the formula.
+func QuantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
 	if n == 0 {
 		return math.NaN()
 	}
 	if q <= 0 {
-		return e.sorted[0]
+		return sorted[0]
 	}
 	if q >= 1 {
-		return e.sorted[n-1]
+		return sorted[n-1]
 	}
 	pos := q * float64(n-1)
 	i := int(pos)
 	frac := pos - float64(i)
 	if i+1 >= n {
-		return e.sorted[n-1]
+		return sorted[n-1]
 	}
-	return e.sorted[i]*(1-frac) + e.sorted[i+1]*frac
+	return sorted[i]*(1-frac) + sorted[i+1]*frac
 }
 
 // Grid evaluates the ECDF on an evenly spaced grid of k+1 points spanning

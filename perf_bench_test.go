@@ -19,7 +19,7 @@ func transientPoint(b *testing.B, workers int) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if res.Acc.N() == 0 {
+		if res.Digest.N() == 0 {
 			b.Fatal("no replicas completed")
 		}
 	}
