@@ -47,4 +47,15 @@
 // the Samples method, which derives the ordered samples from the digest
 // while it is exact and returns nil beyond the cap; Quantile queries the
 // digest directly at any scale.
+//
+// Allocation follows the same discipline: the Emulation and Scenario
+// engines do not construct a cluster per Monte-Carlo replica. Each
+// worker of the pool owns one reusable assembly — emulated cluster,
+// protocol stacks, consensus engines, failure detectors — and rewinds
+// it between replicas (netsim.Cluster.Reset plus per-layer reset
+// hooks), with message-transit, timer and consensus-instance records
+// pooled on free lists, so steady-state campaign execution performs
+// near-zero heap allocation. Rewinding is bit-identical to fresh
+// construction (see PERFORMANCE.md, "Reusable emulation assemblies"),
+// which is why the determinism guarantee above survives the reuse.
 package campaign

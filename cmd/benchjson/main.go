@@ -1,0 +1,122 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON document, so benchmark runs can be archived and
+// diffed across commits (scripts/bench_emulation.sh writes
+// BENCH_emulation.json with it, and CI uploads the result per build).
+//
+// Usage:
+//
+//	go test -run=- -bench . -benchmem ./... | benchjson -o BENCH.json
+//
+// Every benchmark line ("BenchmarkFoo-2  30  123 ns/op  4 B/op ...")
+// becomes one entry carrying the benchmark name, GOMAXPROCS suffix,
+// iteration count, and a unit → value map that includes custom
+// b.ReportMetric units. Package and CPU context lines are attached to the
+// entries that follow them. Non-benchmark lines are ignored, so the
+// verbose output of a full test run can be piped through unchanged.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark result.
+type Entry struct {
+	Pkg  string `json:"pkg,omitempty"`
+	CPU  string `json:"cpu,omitempty"`
+	Name string `json:"name"`
+	// Procs is the -N GOMAXPROCS suffix of the benchmark name (0 if the
+	// name carried none).
+	Procs int   `json:"procs,omitempty"`
+	N     int64 `json:"n"`
+	// Metrics maps a unit (ns/op, B/op, allocs/op, custom ReportMetric
+	// units) to its value.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Document is the top-level JSON shape.
+type Document struct {
+	GoVersion  string  `json:"go_version"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	doc := Document{GoVersion: runtime.Version(), Benchmarks: []Entry{}}
+	var pkg, cpu string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
+		case strings.HasPrefix(line, "cpu: "):
+			cpu = strings.TrimSpace(strings.TrimPrefix(line, "cpu: "))
+		case strings.HasPrefix(line, "Benchmark"):
+			if e, ok := parseBench(line); ok {
+				e.Pkg, e.CPU = pkg, cpu
+				doc.Benchmarks = append(doc.Benchmarks, e)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(buf)
+	} else {
+		err = os.WriteFile(*out, buf, 0o644)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+// parseBench parses one benchmark result line: name, iteration count,
+// then value/unit pairs.
+func parseBench(line string) (Entry, bool) {
+	fields := strings.Fields(line)
+	// Need at least "BenchmarkX N value unit".
+	if len(fields) < 4 {
+		return Entry{}, false
+	}
+	e := Entry{Name: fields[0], Metrics: map[string]float64{}}
+	if i := strings.LastIndex(e.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(e.Name[i+1:]); err == nil {
+			e.Name, e.Procs = e.Name[:i], p
+		}
+	}
+	n, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Entry{}, false
+	}
+	e.N = n
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Entry{}, false
+		}
+		e.Metrics[fields[i+1]] = v
+	}
+	return e, true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

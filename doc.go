@@ -23,9 +23,17 @@
 // (internal/parallel): replicas and campaign points fan out across the
 // CPUs, yet every result is bit-identical at any worker count because
 // each work unit draws from a per-index child random stream and results
-// are folded (and now streamed) in index order. See PERFORMANCE.md for
-// the scheme and the shared -workers/-seed flags (internal/cliflags) of
-// cmd/repro, cmd/sanrun, cmd/fdqos, cmd/testbed, and cmd/scenario.
+// are folded (and now streamed) in index order. Both engines reuse one
+// simulator assembly per worker instead of constructing per replica:
+// the SAN workers rewind a shared model's simulator (san.Sim.Reset),
+// and the emulation/scenario workers rewind a whole cluster + protocol
+// stack + consensus engine + failure detector assembly
+// (netsim.Cluster.Reset and the layer reset hooks), with pooled
+// message-transit and timer records making the steady-state delivery
+// path allocation-free — reset-then-run is bit-identical to
+// construct-then-run. See PERFORMANCE.md for the scheme and the shared
+// -workers/-seed flags (internal/cliflags) of cmd/repro, cmd/sanrun,
+// cmd/fdqos, cmd/testbed, and cmd/scenario.
 //
 // All three engines observe their samples through the streaming metrics
 // core (internal/metrics): per-execution latencies fold into a

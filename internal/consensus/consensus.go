@@ -101,6 +101,12 @@ type Engine struct {
 	// pending buffers messages for instances not yet started locally
 	// (start-time skew between hosts, §4).
 	pending map[uint64][]neko.Message
+	// instFree and bufFree recycle finished instances and drained pending
+	// buffers: sequential campaigns run thousands of instances per
+	// process, and rebuilding the per-instance maps for each was a top
+	// allocation site (see PERFORMANCE.md).
+	instFree []*Instance
+	bufFree  [][]neko.Message
 }
 
 // NewEngine creates a consensus engine on the stack, querying the given
@@ -142,34 +148,82 @@ func (e *Engine) Propose(cid uint64, val int64, onDecide func(Decision), onAbort
 	if _, dup := e.active[cid]; dup {
 		panic(fmt.Sprintf("consensus: instance %d already started at p%d", cid, e.ctx.ID()))
 	}
-	in := &Instance{
-		e:        e,
-		cid:      cid,
-		est:      val,
-		ts:       0,
-		onDecide: onDecide,
-		onAbort:  onAbort,
-		estBuf:   make(map[int][]Estimate),
-		ackBuf:   make(map[int]*ackTally),
-		propBuf:  make(map[int]int64),
+	var in *Instance
+	if n := len(e.instFree); n > 0 {
+		in = e.instFree[n-1]
+		e.instFree[n-1] = nil
+		e.instFree = e.instFree[:n-1]
+	} else {
+		in = &Instance{
+			e:       e,
+			estBuf:  make(map[int][]Estimate),
+			ackBuf:  make(map[int]*ackTally),
+			propBuf: make(map[int]int64),
+		}
 	}
+	in.cid = cid
+	in.est = val
+	in.ts = 0
+	in.onDecide = onDecide
+	in.onAbort = onAbort
+	gen := in.gen
 	e.active[cid] = in
 	in.startRound(1)
-	// Replay messages that arrived before the local start.
-	if buf := e.pending[cid]; buf != nil {
+	// Replay messages that arrived before the local start. A callback
+	// fired from startRound or from a replayed message may Forget this
+	// instance and start the next one on its recycled record (chained
+	// sequential campaigns do); the generation check stops the replay
+	// then — exactly when the pre-pooling code's messages started
+	// hitting a decided dead instance as guarded no-ops.
+	if buf, ok := e.pending[cid]; ok {
 		delete(e.pending, cid)
 		for _, m := range buf {
+			if in.gen != gen {
+				break
+			}
 			in.handle(m)
 		}
+		e.recycleBuf(buf)
 	}
 	return in
 }
 
+// recycleBuf retires a drained pending buffer, dropping message payload
+// references so the pool does not pin them.
+func (e *Engine) recycleBuf(buf []neko.Message) {
+	clear(buf)
+	e.bufFree = append(e.bufFree, buf[:0])
+}
+
 // Forget discards a finished instance's state (sequential campaigns would
-// otherwise accumulate per-instance buffers).
+// otherwise accumulate per-instance buffers). The instance record and its
+// buffers return to the engine's free lists for the next Propose.
 func (e *Engine) Forget(cid uint64) {
-	delete(e.active, cid)
-	delete(e.pending, cid)
+	if in, ok := e.active[cid]; ok {
+		delete(e.active, cid)
+		in.recycle()
+		e.instFree = append(e.instFree, in)
+	}
+	if buf, ok := e.pending[cid]; ok {
+		delete(e.pending, cid)
+		e.recycleBuf(buf)
+	}
+}
+
+// Reset discards every active instance and pending buffer (retaining the
+// recycled records) so one engine can serve successive campaign replicas
+// on a reused cluster. The executor must have been reset first; Reset
+// does not interact with timers or in-flight messages.
+func (e *Engine) Reset() {
+	for cid, in := range e.active {
+		delete(e.active, cid)
+		in.recycle()
+		e.instFree = append(e.instFree, in)
+	}
+	for cid, buf := range e.pending {
+		delete(e.pending, cid)
+		e.recycleBuf(buf)
+	}
 }
 
 // route dispatches a ct.* message to its instance, or buffers it if the
@@ -183,9 +237,18 @@ func (e *Engine) route(m neko.Message) {
 	// Bound the pending buffer: a malformed flood must not exhaust memory.
 	// The bound covers a full instance's worth of traffic (pipelined
 	// sequential instances can run a whole instance ahead of a process).
-	if len(e.pending[cid]) < 8*e.ctx.N() {
-		e.pending[cid] = append(e.pending[cid], m)
+	buf, ok := e.pending[cid]
+	if !ok {
+		if n := len(e.bufFree); n > 0 {
+			buf = e.bufFree[n-1]
+			e.bufFree[n-1] = nil
+			e.bufFree = e.bufFree[:n-1]
+		}
 	}
+	if len(buf) < 8*e.ctx.N() {
+		buf = append(buf, m)
+	}
+	e.pending[cid] = buf
 }
 
 // onFDChange forwards suspicion changes to all active instances.
@@ -219,10 +282,14 @@ type ackTally struct {
 	evaluated  bool
 }
 
-// Instance is one execution of consensus at one process.
+// Instance is one execution of consensus at one process. Records are
+// recycled through the engine's free list; gen counts incarnations so
+// stale references (a pending-message replay interrupted by a Forget from
+// inside a callback) can detect the reuse.
 type Instance struct {
 	e        *Engine
 	cid      uint64
+	gen      uint64
 	round    int
 	est      int64
 	ts       int
@@ -240,6 +307,37 @@ type Instance struct {
 	proposed map[int]bool
 	// propBuf holds proposals received for rounds we have not reached.
 	propBuf map[int]int64
+	// estFree/tallyFree recycle the per-round buffers across rounds and
+	// incarnations (decided rounds release theirs back immediately).
+	estFree   [][]Estimate
+	tallyFree []*ackTally
+}
+
+// recycle rewinds the instance to a blank state, returning per-round
+// buffers to its free lists and releasing callback references.
+func (in *Instance) recycle() {
+	in.gen++
+	for r, sl := range in.estBuf {
+		delete(in.estBuf, r)
+		in.estFree = append(in.estFree, sl[:0])
+	}
+	for r, t := range in.ackBuf {
+		delete(in.ackBuf, r)
+		*t = ackTally{}
+		in.tallyFree = append(in.tallyFree, t)
+	}
+	clear(in.proposed)
+	clear(in.propBuf)
+	in.cid = 0
+	in.round = 0
+	in.est = 0
+	in.ts = 0
+	in.decided = false
+	in.decision = Decision{}
+	in.aborted = false
+	in.onDecide = nil
+	in.onAbort = nil
+	in.waitingProposal = false
 }
 
 // Decided reports whether the instance has decided, and the decision.
@@ -321,7 +419,15 @@ func (in *Instance) addEstimate(p Estimate) {
 	if in.proposedIn(p.Round) {
 		return // proposal already issued; late estimates are irrelevant
 	}
-	in.estBuf[p.Round] = append(in.estBuf[p.Round], p)
+	sl, ok := in.estBuf[p.Round]
+	if !ok {
+		if n := len(in.estFree); n > 0 {
+			sl = in.estFree[n-1]
+			in.estFree[n-1] = nil
+			in.estFree = in.estFree[:n-1]
+		}
+	}
+	in.estBuf[p.Round] = append(sl, p)
 	in.maybePropose(p.Round)
 }
 
@@ -348,6 +454,7 @@ func (in *Instance) maybePropose(r int) {
 	in.proposed[r] = true
 	in.est = best.Val
 	in.ts = r
+	in.estFree = append(in.estFree, in.estBuf[r][:0])
 	delete(in.estBuf, r)
 	// The coordinator's own reply is an implicit positive acknowledgment.
 	in.tally(r).oks++
@@ -435,7 +542,13 @@ func (in *Instance) handleAck(p Ack) {
 func (in *Instance) tally(r int) *ackTally {
 	t := in.ackBuf[r]
 	if t == nil {
-		t = &ackTally{}
+		if n := len(in.tallyFree); n > 0 {
+			t = in.tallyFree[n-1]
+			in.tallyFree[n-1] = nil
+			in.tallyFree = in.tallyFree[:n-1]
+		} else {
+			t = &ackTally{}
+		}
 		in.ackBuf[r] = t
 	}
 	return t

@@ -1,0 +1,24 @@
+package experiment
+
+import "testing"
+
+// TestSubSkewDeadline mirrors the scenario-level test: a Deadline below
+// the clock-skew spread produces stale StartAt firings after the
+// watchdog closed their execution; they must be no-ops (the pooled
+// start record carries its armed execution index), not ghost Proposes
+// into the successor execution. No consensus can complete in 0.02 ms,
+// so every execution must abort cleanly.
+func TestSubSkewDeadline(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		res, err := RunLatency(LatencySpec{
+			N: 3, Executions: 30, Seed: seed, Deadline: 0.02,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Digest.N() != 0 || res.Aborted != 30 {
+			t.Fatalf("seed %d: %d decided / %d aborted, want 0/30 (ghost proposals leaked?)",
+				seed, res.Digest.N(), res.Aborted)
+		}
+	}
+}

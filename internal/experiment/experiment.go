@@ -20,6 +20,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"reflect"
 
 	"ctsan/internal/consensus"
 	"ctsan/internal/fd"
@@ -129,21 +130,36 @@ func (s *LatencySpec) validate() error {
 	return nil
 }
 
-// campaign is the run-time state of RunLatency.
+// campaign is a reusable latency-campaign harness: the cluster, protocol
+// stacks, engines and detectors are assembled once (newCampaign for a
+// construction-compatible spec), then rewound and rerun per campaign
+// (runWith). RunLatencySweep keeps one harness per worker and reuses it
+// across same-shape specs — the replica-reuse discipline of san.Transient
+// — so sweep campaigns that differ only in seed construct nothing per
+// campaign. A reused harness is bit-identical to a fresh one.
 type campaign struct {
-	ctx     context.Context
-	spec    LatencySpec
-	cluster *netsim.Cluster
-	engines []*consensus.Engine
-	crashed map[neko.ProcessID]bool
-	res     *LatencyResult
-	correct int
+	ctx        context.Context
+	spec       LatencySpec
+	cluster    *netsim.Cluster
+	engines    []*consensus.Engine
+	heartbeats []*fd.Heartbeat
+	crashed    map[neko.ProcessID]bool
+	res        *LatencyResult
+	correct    int
 	// rec receives each completed execution's latency; it defaults to the
 	// result digest. trace, when set by a hook (the crash-transient
 	// harness), additionally observes (execution index, latency) pairs —
 	// watchdogged executions produce no trace call.
 	rec   metrics.Recorder
 	trace func(k int, lat float64)
+	// Per-process Propose decision/abort hooks, allocated once. They
+	// read the current execution index at fire time, which is safe:
+	// engine callbacks only fire while their instance is active, and
+	// instances are forgotten when their execution closes.
+	decideFns []func(consensus.Decision)
+	doneFns   []func()
+	// startFree recycles the per-arm StartAt records (see expStartCall).
+	startFree []*expStartCall
 
 	// Current execution state.
 	running  bool
@@ -174,33 +190,72 @@ func RunLatencyContext(ctx context.Context, spec LatencySpec) (*LatencyResult, e
 	return c.res, nil
 }
 
-// runCampaign is the campaign core. hook (may be nil) runs after the
-// cluster is built and started, before the first execution — used by the
-// crash-transient experiment to inject mid-run crashes.
+// runCampaign is the one-shot campaign core. hook (may be nil) runs after
+// the cluster is built and started, before the first execution — used by
+// the crash-transient experiment to inject mid-run crashes.
 func runCampaign(ctx context.Context, spec LatencySpec, hook func(*campaign)) (*campaign, error) {
+	c, err := newCampaign(spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.runWith(ctx, spec, hook); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// constructionKey covers the LatencySpec fields baked into the harness at
+// assembly time; specs that agree on it can share a harness and differ
+// freely in the run-time fields (Seed, Executions, Gap, Warmup,
+// Deadline).
+type constructionKey struct {
+	N         int
+	Params    netsim.Params
+	FDMode    FDMode
+	TimeoutT  float64
+	PeriodTh  float64
+	Crashed   []neko.ProcessID
+	MaxRounds int
+}
+
+func (s *LatencySpec) construction() constructionKey {
+	return constructionKey{
+		N: s.N, Params: s.Params, FDMode: s.FDMode,
+		TimeoutT: s.TimeoutT, PeriodTh: s.PeriodTh,
+		Crashed: s.Crashed, MaxRounds: s.MaxRounds,
+	}
+}
+
+// compatibleWith reports whether the harness can run the (already
+// validated) spec without reassembly.
+func (c *campaign) compatibleWith(spec LatencySpec) bool {
+	return reflect.DeepEqual(c.spec.construction(), spec.construction())
+}
+
+// newCampaign validates the spec and assembles the harness. Construction
+// randomness is throwaway: runWith rewinds the cluster from the run
+// spec's seed before executing.
+func newCampaign(spec LatencySpec) (*campaign, error) {
 	if err := spec.validate(); err != nil {
 		return nil, err
 	}
-	root := rng.New(spec.Seed ^ 0x5eedc0de)
-	cluster, err := netsim.New(spec.Params, root.Child(1))
+	cluster, err := netsim.New(spec.Params, rng.New(0))
 	if err != nil {
 		return nil, err
 	}
 	c := &campaign{
-		ctx:     ctx,
-		spec:    spec,
-		cluster: cluster,
-		engines: make([]*consensus.Engine, spec.N+1),
-		crashed: make(map[neko.ProcessID]bool, len(spec.Crashed)),
-		res:     &LatencyResult{History: &fd.History{}},
+		spec:      spec,
+		cluster:   cluster,
+		engines:   make([]*consensus.Engine, spec.N+1),
+		crashed:   make(map[neko.ProcessID]bool, len(spec.Crashed)),
+		decideFns: make([]func(consensus.Decision), spec.N+1),
+		doneFns:   make([]func(), spec.N+1),
 	}
-	c.rec = &c.res.Digest
 	for _, id := range spec.Crashed {
 		c.crashed[id] = true
 	}
 	c.correct = spec.N - len(spec.Crashed)
 
-	var heartbeats []*fd.Heartbeat
 	for i := 1; i <= spec.N; i++ {
 		id := neko.ProcessID(i)
 		stack := neko.NewStack(cluster.Context(id))
@@ -209,34 +264,98 @@ func runCampaign(ctx context.Context, spec LatencySpec, hook func(*campaign)) (*
 		case FDOracle:
 			det = fd.NewOracle(spec.Crashed...)
 		case FDHeartbeat:
-			hb := fd.NewHeartbeat(stack, spec.TimeoutT, spec.PeriodTh, c.res.History)
-			heartbeats = append(heartbeats, hb)
+			hb := fd.NewHeartbeat(stack, spec.TimeoutT, spec.PeriodTh, nil)
+			c.heartbeats = append(c.heartbeats, hb)
 			det = hb
 		default:
 			return nil, fmt.Errorf("experiment: unknown FD mode %d", spec.FDMode)
 		}
 		c.engines[i] = consensus.NewEngine(stack, det, consensus.Options{MaxRounds: spec.MaxRounds})
 		cluster.Attach(id, stack)
+		c.decideFns[i] = func(d consensus.Decision) { c.onDecision(c.execIdx, d) }
+		c.doneFns[i] = func() { c.onProcessDone(c.execIdx) }
 	}
-	cluster.Start()
+	return c, nil
+}
+
+// expStartCall is a pooled StartAt callback carrying the execution index
+// it was armed for: a stale call — possible when a sub-clock-skew
+// Deadline lets the watchdog close an execution before its StartAts fire
+// — is a no-op instead of proposing into the successor execution.
+type expStartCall struct {
+	c     *campaign
+	i, k  int
+	runFn func()
+}
+
+func (c *campaign) newStartCall(i, k int) *expStartCall {
+	var sc *expStartCall
+	if n := len(c.startFree); n > 0 {
+		sc = c.startFree[n-1]
+		c.startFree[n-1] = nil
+		c.startFree = c.startFree[:n-1]
+	} else {
+		sc = &expStartCall{c: c}
+		sc.runFn = sc.run
+	}
+	sc.i, sc.k = i, k
+	return sc
+}
+
+func (sc *expStartCall) run() {
+	c, i, k := sc.c, sc.i, sc.k
+	c.startFree = append(c.startFree, sc)
+	if c.closed || k != c.execIdx {
+		return
+	}
+	c.engines[i].Propose(uint64(k), int64(i), c.decideFns[i], c.doneFns[i])
+}
+
+// runWith rewinds the harness and executes one campaign for spec, which
+// must be construction-compatible with the harness (same assembly-time
+// fields; see compatibleWith). The result lands in c.res.
+func (c *campaign) runWith(ctx context.Context, spec LatencySpec, hook func(*campaign)) error {
+	if err := spec.validate(); err != nil {
+		return err
+	}
+	root := rng.New(spec.Seed ^ 0x5eedc0de)
+	c.cluster.Reset(root.Child(1))
+	for _, e := range c.engines {
+		if e != nil {
+			e.Reset()
+		}
+	}
+	c.ctx = ctx
+	c.spec = spec
+	c.res = &LatencyResult{History: &fd.History{}}
+	for _, hb := range c.heartbeats {
+		hb.Reset(c.res.History)
+	}
+	c.rec = &c.res.Digest
+	c.trace = nil
+	c.running = false
+	c.closed = false
+	c.err = nil
+
+	c.cluster.Start()
 	if hook != nil {
 		hook(c)
 	}
 	c.startExec(0, spec.Warmup)
-	cluster.Run(func() bool { return !c.running || c.err != nil })
+	c.cluster.Run(func() bool { return !c.running || c.err != nil })
 	if c.err != nil {
-		return nil, c.err
+		return c.err
 	}
 
-	c.res.Texp = cluster.Now()
-	c.res.Events = cluster.Steps()
-	for _, hb := range heartbeats {
+	c.res.Texp = c.cluster.Now()
+	c.res.Events = c.cluster.Steps()
+	for _, hb := range c.heartbeats {
 		hb.Stop()
 	}
 	if spec.FDMode == FDHeartbeat {
 		c.res.QoS = fd.EstimateQoS(c.res.History, c.res.Texp, spec.N)
 	}
-	return c, nil
+	return nil
 }
 
 // startExec launches execution k at local time t0 on every correct process.
@@ -255,16 +374,7 @@ func (c *campaign) startExec(k int, t0 float64) {
 		if c.crashed[id] {
 			continue
 		}
-		i := i
-		c.cluster.StartAt(id, t0, func() {
-			if c.closed {
-				return // execution force-closed before this process started
-			}
-			c.engines[i].Propose(uint64(k), int64(i),
-				func(d consensus.Decision) { c.onDecision(k, d) },
-				func() { c.onProcessDone(k) },
-			)
-		})
+		c.cluster.StartAt(id, t0, c.newStartCall(i, k).runFn)
 	}
 	// Watchdog: executions with catastrophic failure detection, or with a
 	// process crashing mid-campaign, must not hang the campaign (cf. the

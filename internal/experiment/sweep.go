@@ -22,15 +22,44 @@ func RunLatencySweep(specs []LatencySpec, workers int) ([]*LatencyResult, error)
 	return RunLatencySweepContext(context.Background(), specs, workers)
 }
 
-// RunLatencySweepContext is the sweep core: each campaign owns its
-// cluster, engines and random streams, all derived from its spec's Seed,
-// so the returned results are bit-identical to running the specs serially,
-// regardless of the worker count. This is the unit of parallelism for the
-// paper's measurement campaigns: the per-n sweeps of Fig. 7(a)/Table 1 and
-// the (n, T) grid of Figs. 8–9. ctx cancels between campaigns and between
-// the executions inside each campaign.
+// RunLatencySweepContext is the sweep core: each campaign draws all its
+// random streams from its spec's Seed, so the returned results are
+// bit-identical to running the specs serially, regardless of the worker
+// count. This is the unit of parallelism for the paper's measurement
+// campaigns: the per-n sweeps of Fig. 7(a)/Table 1 and the (n, T) grid of
+// Figs. 8–9. ctx cancels between campaigns and between the executions
+// inside each campaign.
+//
+// Each worker keeps one harness (cluster, stacks, engines, detectors) and
+// rewinds it for every spec that shares the cached harness's
+// construction shape — sweeps of Monte-Carlo repetitions differ only in
+// Seed and reuse one assembly end to end; heterogeneous sweeps (per-n
+// figures) reassemble on shape changes. Reused harnesses are
+// bit-identical to fresh ones, so the determinism guarantee is
+// unaffected (pinned by TestLatencySweepDeterministicAcrossWorkers).
 func RunLatencySweepContext(ctx context.Context, specs []LatencySpec, workers int) ([]*LatencyResult, error) {
-	return parallel.Map(ctx, workers, len(specs), func(_, i int) (*LatencyResult, error) {
-		return RunLatencyContext(ctx, specs[i])
+	cache := make([]*campaign, parallel.Workers(workers))
+	return parallel.Map(ctx, workers, len(specs), func(w, i int) (*LatencyResult, error) {
+		spec := specs[i]
+		// Validate (normalize) before the compatibility check: the cached
+		// harness holds a defaulted spec, and an un-defaulted copy (zero
+		// Params, FDMode, ...) would never compare equal — silently
+		// disabling reuse for every spec that relies on the defaults.
+		if err := spec.validate(); err != nil {
+			return nil, err
+		}
+		c := cache[w]
+		if c == nil || !c.compatibleWith(spec) {
+			var err error
+			c, err = newCampaign(spec)
+			if err != nil {
+				return nil, err
+			}
+			cache[w] = c
+		}
+		if err := c.runWith(ctx, spec, nil); err != nil {
+			return nil, err
+		}
+		return c.res, nil
 	})
 }

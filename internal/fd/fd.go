@@ -46,6 +46,16 @@ type Heartbeat struct {
 	watchers  []func(q neko.ProcessID, suspected bool)
 	history   *History
 	stopped   bool
+	// expireFns[q] and emitFn are the timer callbacks, allocated once at
+	// construction: arming a suspicion timer on every observed message is
+	// the detector's hot path and must not allocate.
+	expireFns []func()
+	emitFn    func()
+	// emitTimer is the handle of the pending emission timer. It is
+	// stopped (a no-op that recycles the executor's fired record) before
+	// each re-arm, never while pending — cancelling a pending emission
+	// would change the executed-event count.
+	emitTimer neko.TimerHandle
 }
 
 var (
@@ -72,10 +82,34 @@ func NewHeartbeat(stack *neko.Stack, timeoutT, periodTh float64, history *Histor
 		timers:    make([]neko.TimerHandle, ctx.N()+1),
 		history:   history,
 	}
+	hb.emitFn = hb.emit
+	hb.expireFns = make([]func(), ctx.N()+1)
+	for q := neko.ProcessID(1); int(q) <= ctx.N(); q++ {
+		q := q
+		hb.expireFns[q] = func() { hb.expire(q) }
+	}
 	stack.Tap(hb.observe)
 	stack.Handle(MsgHeartbeat, func(neko.Message) {}) // content is irrelevant; the tap did the work
 	stack.AddLayer(hb)
 	return hb
+}
+
+// Reset rewinds the detector to its just-constructed state so one
+// detector instance can serve successive campaign replicas, recording
+// into a fresh (or freshly reset) history. It must be called after the
+// executor itself has been reset (netsim.Cluster.Reset), which
+// invalidates every outstanding timer wholesale: the stale handles are
+// discarded here without Stop, per the Cluster.Reset contract.
+func (hb *Heartbeat) Reset(history *History) {
+	hb.seq = 0
+	hb.stopped = false
+	hb.history = history
+	hb.emitTimer = nil
+	for q := range hb.timers {
+		hb.timers[q] = nil
+		hb.suspected[q] = false
+		hb.lastMsg[q] = 0
+	}
 }
 
 // Timeout returns the failure-detection timeout T.
@@ -87,6 +121,11 @@ func (hb *Heartbeat) Period() float64 { return hb.period }
 // Start implements neko.Protocol: begins heartbeat emission and arms the
 // suspicion timers for all peers.
 func (hb *Heartbeat) Start() {
+	// On a crash-recovery restart the previous emission timer may still
+	// be pending (its firing is epoch-suppressed by the executor); it
+	// must be dropped, not stopped — cancelling it would change the
+	// executed-event count relative to the pre-pooling behavior.
+	hb.emitTimer = nil
 	now := hb.ctx.Now()
 	for q := neko.ProcessID(1); int(q) <= hb.ctx.N(); q++ {
 		if q == hb.ctx.ID() {
@@ -102,15 +141,22 @@ func (hb *Heartbeat) Start() {
 // experiment ends; the paper stops FD activity once a decision is taken,
 // §3.4).
 func (hb *Heartbeat) Stop() {
+	if hb.stopped {
+		return
+	}
 	hb.stopped = true
-	for _, t := range hb.timers {
+	for q, t := range hb.timers {
 		if t != nil {
 			t.Stop()
+			hb.timers[q] = nil // handles are single-use; drop after Stop
 		}
 	}
 }
 
-// emit broadcasts one heartbeat and schedules the next emission.
+// emit broadcasts one heartbeat and schedules the next emission. The
+// previous emission's handle — necessarily fired by now — is stopped
+// first so pooling executors recycle its record; stopping a fired timer
+// never cancels an event, so the event count is unchanged.
 func (hb *Heartbeat) emit() {
 	if hb.stopped {
 		return
@@ -120,7 +166,10 @@ func (hb *Heartbeat) emit() {
 		Type:    MsgHeartbeat,
 		Payload: HeartbeatPayload{Seq: hb.seq},
 	})
-	hb.ctx.SetTimer(hb.period, hb.emit)
+	if hb.emitTimer != nil {
+		hb.emitTimer.Stop()
+	}
+	hb.emitTimer = hb.ctx.SetTimer(hb.period, hb.emitFn)
 }
 
 // observe is the stack tap: any message from q resets q's timer and clears
@@ -137,12 +186,15 @@ func (hb *Heartbeat) observe(m neko.Message) {
 	hb.armTimer(m.From)
 }
 
-// armTimer (re)arms the suspicion timer for q at T from now.
+// armTimer (re)arms the suspicion timer for q at T from now. The
+// callback is the preallocated expireFns[q]; Stop of the previous handle
+// recycles the executor's timer record, so the re-arm — performed on
+// every observed message — is allocation-free.
 func (hb *Heartbeat) armTimer(q neko.ProcessID) {
 	if t := hb.timers[q]; t != nil {
 		t.Stop()
 	}
-	hb.timers[q] = hb.ctx.SetTimer(hb.timeout, func() { hb.expire(q) })
+	hb.timers[q] = hb.ctx.SetTimer(hb.timeout, hb.expireFns[q])
 }
 
 // expire handles a suspicion timer firing for q.
@@ -224,6 +276,14 @@ type Transition struct {
 type History struct {
 	mu     sync.Mutex
 	events []Transition
+}
+
+// Reset discards all recorded transitions, retaining capacity, so one
+// History can serve successive campaign replicas.
+func (h *History) Reset() {
+	h.mu.Lock()
+	h.events = h.events[:0]
+	h.mu.Unlock()
 }
 
 // Record appends a transition.

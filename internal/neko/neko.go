@@ -48,7 +48,9 @@ func (m Message) String() string {
 }
 
 // TimerHandle identifies a pending timer so it can be cancelled. Handles
-// are opaque to protocols.
+// are opaque to protocols and single-use: Stop must be called at most
+// once, and a handle must not be used after Stop returns — executors may
+// recycle timer records (the virtual-time emulator pools them).
 type TimerHandle interface{ Stop() }
 
 // Context is the execution environment a protocol sees: identity, clock,

@@ -117,14 +117,32 @@ func (c *Cluster) ClearLinkAt(t float64, from, to neko.ProcessID) {
 	c.at(t, func() { delete(c.links, linkKey{from, to}) })
 }
 
+// pauseCall is a pooled PauseAt event: scenario pause storms schedule
+// thousands of them, so they get the transit/timer record treatment.
+type pauseCall struct {
+	h     *host
+	dur   float64
+	runFn func()
+}
+
+func (c *Cluster) makePauseCall() *pauseCall {
+	p := &pauseCall{}
+	p.runFn = func() {
+		p.h.reserveCPU(p.dur, nil)
+		c.pauses.put(p)
+	}
+	return p
+}
+
 // PauseAt schedules a whole-host execution pause of dur milliseconds on
 // process id's host starting at global time t: the CPU is occupied, so
 // timers, sends and receive processing are deferred until the pause ends
 // (plus any work already queued). Scenario pause storms are sequences of
 // PauseAt injections.
 func (c *Cluster) PauseAt(id neko.ProcessID, t, dur float64) {
-	h := c.hostFor(id)
-	c.at(t, func() { h.reserveCPU(dur, nil) })
+	p := c.pauses.get()
+	p.h, p.dur = c.hostFor(id), dur
+	c.at(t, p.runFn)
 }
 
 // PhaseAt schedules a named phase transition at global time t. Phases

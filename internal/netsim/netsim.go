@@ -149,7 +149,9 @@ func DefaultParams(n int) Params {
 
 // Cluster is an emulated cluster executing one neko.Stack per process in
 // virtual time. Construct with New, attach stacks with Attach, then drive
-// the simulation with Start/Run/RunUntil.
+// the simulation with Start/Run/RunUntil. A finished cluster can be
+// rewound with Reset and reused for the next replica without
+// reallocating any of its state (see Reset for the contract).
 type Cluster struct {
 	params Params
 	sim    des.Sim
@@ -173,6 +175,45 @@ type Cluster struct {
 	linkRand *rng.Stream
 	// phaseFns observe PhaseAt transitions (scenario workload hooks).
 	phaseFns []func(name string, at float64)
+
+	// Record pools for the hot delivery and timer paths. Each record
+	// carries its stage closures, allocated once at record construction,
+	// so steady-state message delivery and timer arm/stop/fire cycles
+	// perform no heap allocation (see PERFORMANCE.md).
+	transits pool[transit]
+	timers   pool[simTimer]
+	fires    pool[fireCall]
+	calls    pool[guardedCall]
+	pauses   pool[pauseCall]
+}
+
+// pool is a LIFO free list over every record ever created for one
+// cluster. all retains them so Reset can reclaim in-flight records after
+// the event queue that referenced them has been wiped.
+type pool[T any] struct {
+	new  func() *T
+	free []*T
+	all  []*T
+}
+
+func (p *pool[T]) get() *T {
+	if n := len(p.free); n > 0 {
+		r := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return r
+	}
+	r := p.new()
+	p.all = append(p.all, r)
+	return r
+}
+
+func (p *pool[T]) put(r *T) { p.free = append(p.free, r) }
+
+// reclaimAll returns every record to the free list, in-flight or not.
+func (p *pool[T]) reclaimAll() {
+	p.free = p.free[:0]
+	p.free = append(p.free, p.all...)
 }
 
 // host models one PC: a CPU with FIFO queueing, a scheduler with coarse
@@ -192,6 +233,10 @@ type host struct {
 	netRand   *rng.Stream
 	schedRand *rng.Stream
 	pauseRand *rng.Stream
+	// startStackFn/pauseBodyFn are the host's recurring event callbacks,
+	// allocated once here instead of per scheduling.
+	startStackFn func()
+	pauseBodyFn  func()
 }
 
 // New creates a cluster from params, drawing all randomness from child
@@ -203,6 +248,11 @@ func New(params Params, r *rng.Stream) (*Cluster, error) {
 	def := DefaultParams(params.N)
 	fillDefaults(&params, def)
 	c := &Cluster{params: params, rand: r.Child(0xc1), linkRand: r.Child(0x400)}
+	c.transits.new = c.makeTransit
+	c.timers.new = c.makeTimer
+	c.fires.new = c.makeFireCall
+	c.calls.new = c.makeGuardedCall
+	c.pauses.new = c.makePauseCall
 	for i := 0; i < params.N; i++ {
 		id := neko.ProcessID(i + 1)
 		h := &host{
@@ -214,6 +264,8 @@ func New(params Params, r *rng.Stream) (*Cluster, error) {
 			pauseRand: r.Child(0x300 + uint64(i)),
 		}
 		h.gridPhase = h.schedRand.Uniform(0, params.SleepGranularity)
+		h.startStackFn = func() { h.stack.Start() }
+		h.pauseBodyFn = h.pauseBody
 		c.hosts = append(c.hosts, h)
 	}
 	for _, id := range params.Crashed {
@@ -223,6 +275,67 @@ func New(params Params, r *rng.Stream) (*Cluster, error) {
 		c.hosts[id-1].down = true
 	}
 	return c, nil
+}
+
+// Reset rewinds the cluster to its initial state — virtual time zero,
+// fresh host state, no injections in force — redrawing all construction
+// randomness from child streams of r exactly as New does, without
+// reallocating hosts, per-host streams, the DES event pool, or the
+// pooled message/timer records. Running a reset cluster is bit-identical
+// to running a freshly constructed one from the same stream; this is
+// what lets campaign workers keep one cluster per worker and reuse it
+// across Monte-Carlo replicas (the san.Sim.Reset treatment).
+//
+// Attached stacks stay attached, but their protocol state is not
+// touched: the layers above (fd detectors, consensus engines) must be
+// rewound by their own reset hooks. Every outstanding timer handle is
+// invalidated wholesale; holders must discard handles without calling
+// Stop. Trace and phase observers are cleared, as on a fresh cluster.
+func (c *Cluster) Reset(r *rng.Stream) {
+	c.sim.Reset()
+	r.ChildInto(c.rand, 0xc1)
+	r.ChildInto(c.linkRand, 0x400)
+	c.delivered = 0
+	c.hubFree = 0
+	c.traceFn = nil
+	c.group = nil
+	clear(c.links)
+	c.phaseFns = c.phaseFns[:0]
+	for i, h := range c.hosts {
+		h.cpuFree = 0
+		h.down = false
+		h.epoch = 0
+		h.clockOff = c.params.ClockSkew.Sample(c.rand)
+		r.ChildInto(h.netRand, 0x100+uint64(i))
+		r.ChildInto(h.schedRand, 0x200+uint64(i))
+		r.ChildInto(h.pauseRand, 0x300+uint64(i))
+		h.gridPhase = h.schedRand.Uniform(0, c.params.SleepGranularity)
+	}
+	for _, id := range c.params.Crashed {
+		c.hosts[id-1].down = true
+	}
+	// The wiped event queue held the callbacks of every in-flight pooled
+	// record; reclaim them all, invalidating their outstanding handles
+	// and dropping any retained message payloads.
+	for _, t := range c.timers.all {
+		t.gen++
+		t.released = true
+		t.fn = nil
+	}
+	c.timers.reclaimAll()
+	for _, tr := range c.transits.all {
+		tr.m = neko.Message{}
+	}
+	c.transits.reclaimAll()
+	for _, fc := range c.fires.all {
+		fc.t = nil
+	}
+	c.fires.reclaimAll()
+	for _, g := range c.calls.all {
+		g.fn = nil
+	}
+	c.calls.reclaimAll()
+	c.pauses.reclaimAll()
 }
 
 // fillDefaults replaces nil/zero stochastic fields with defaults.
@@ -314,10 +427,34 @@ func (c *Cluster) Start() {
 			h.scheduleNextPause()
 		}
 		if h.stack != nil && !h.down {
-			h := h
-			c.sim.At(0, func() { h.stack.Start() })
+			c.sim.At(0, h.startStackFn)
 		}
 	}
+}
+
+// guardedCall is a pooled one-shot event callback that runs fn only if
+// its host is still up at the scheduled instant (the StartAt guard).
+type guardedCall struct {
+	c     *Cluster
+	h     *host
+	fn    func()
+	runFn func()
+}
+
+func (c *Cluster) makeGuardedCall() *guardedCall {
+	g := &guardedCall{c: c}
+	g.runFn = g.run
+	return g
+}
+
+func (g *guardedCall) run() {
+	h, fn := g.h, g.fn
+	g.fn = nil
+	g.c.calls.put(g)
+	if h.down {
+		return
+	}
+	fn()
 }
 
 // StartAt schedules fn on process id's host at the global time when that
@@ -330,12 +467,9 @@ func (c *Cluster) StartAt(id neko.ProcessID, localT float64, fn func()) {
 	if globalT < c.sim.Now() {
 		globalT = c.sim.Now()
 	}
-	c.sim.At(globalT, func() {
-		if h.down {
-			return
-		}
-		fn()
-	})
+	g := c.calls.get()
+	g.h, g.fn = h, fn
+	c.sim.At(globalT, g.runFn)
 }
 
 // CrashAt schedules a crash of process id at global time t: from then on
@@ -400,11 +534,15 @@ func (h *host) reserveCPU(cost float64, fn func()) {
 // scheduleNextPause arms the host's next execution pause.
 func (h *host) scheduleNextPause() {
 	gap := h.c.params.PauseEvery.Sample(h.pauseRand)
-	h.c.sim.After(gap, func() {
-		dur := h.c.params.PauseDur.Sample(h.pauseRand)
-		h.reserveCPU(dur, nil)
-		h.scheduleNextPause()
-	})
+	h.c.sim.After(gap, h.pauseBodyFn)
+}
+
+// pauseBody executes one background pause and arms the next; it is the
+// preallocated callback behind scheduleNextPause.
+func (h *host) pauseBody() {
+	dur := h.c.params.PauseDur.Sample(h.pauseRand)
+	h.reserveCPU(dur, nil)
+	h.scheduleNextPause()
 }
 
 // wakeLateness samples the scheduler-induced delay of a timer wake-up
@@ -439,10 +577,35 @@ func (h *host) N() int { return h.c.params.N }
 // Now implements neko.Context: the host's local clock.
 func (h *host) Now() float64 { return h.c.sim.Now() + h.clockOff }
 
-// Send implements neko.Context. The message passes through: sender CPU
-// (TSend) → hub (TWire, FIFO) → receiver CPU (TReceive, plus occasional
-// Tail latency) → stack dispatch. This is exactly the seven-step
-// decomposition of Fig. 3 in the paper.
+// transit is a pooled record carrying one message through the pipeline:
+// sender CPU (TSend) → hub (TWire, FIFO) → receiver CPU (TReceive, plus
+// occasional Tail latency) → stack dispatch — the seven-step
+// decomposition of Fig. 3 in the paper. Its stage closures are allocated
+// once per record, so steady-state delivery allocates nothing.
+type transit struct {
+	c        *Cluster
+	src, dst *host
+	m        neko.Message
+	sendFn, hubFn, deliverFn, recvFn func()
+}
+
+func (c *Cluster) makeTransit() *transit {
+	t := &transit{c: c}
+	t.sendFn = t.send
+	t.hubFn = t.hub
+	t.deliverFn = t.deliver
+	t.recvFn = t.recv
+	return t
+}
+
+// releaseTransit retires a transit record, dropping its payload
+// reference so the pool does not pin message contents.
+func (c *Cluster) releaseTransit(t *transit) {
+	t.m = neko.Message{}
+	c.transits.put(t)
+}
+
+// Send implements neko.Context. See transit for the pipeline.
 func (h *host) Send(m neko.Message) {
 	if m.To == h.id {
 		panic("netsim: send to self (protocols must short-circuit local delivery)")
@@ -458,71 +621,152 @@ func (h *host) Send(m neko.Message) {
 		h.reserveCPU(c.params.FailedSend.Sample(h.netRand), nil)
 		return
 	}
+	t := c.transits.get()
+	t.src, t.dst, t.m = h, c.hostFor(m.To), m
 	// Step 1-2: sending queue + CPU_i for t_send.
-	h.reserveCPU(c.params.TSend.Sample(h.netRand), func() {
-		// Step 3-4: network queue + shared medium for t_net.
-		wire := c.params.TWire.Sample(h.netRand)
-		start := c.sim.Now()
-		if c.hubFree > start {
-			start = c.hubFree
+	h.reserveCPU(c.params.TSend.Sample(h.netRand), t.sendFn)
+}
+
+// send runs step 3-4: network queue + shared medium for t_net.
+func (t *transit) send() {
+	c := t.c
+	wire := c.params.TWire.Sample(t.src.netRand)
+	start := c.sim.Now()
+	if c.hubFree > start {
+		start = c.hubFree
+	}
+	end := start + wire
+	c.hubFree = end
+	c.sim.At(end, t.hubFn)
+}
+
+// hub runs at the hub boundary: the frame has consumed sender CPU and
+// medium time; partition and per-link degradation rules apply here.
+func (t *transit) hub() {
+	c := t.c
+	if c.partitioned(t.m.From, t.m.To) {
+		c.releaseTransit(t)
+		return
+	}
+	extra := 0.0
+	if rule, ok := c.links[linkKey{t.m.From, t.m.To}]; ok {
+		if rule.Loss > 0 && c.linkRand.Float64() < rule.Loss {
+			c.releaseTransit(t)
+			return
 		}
-		end := start + wire
-		c.hubFree = end
-		c.sim.At(end, func() {
-			// Hub boundary: the frame has consumed sender CPU and medium
-			// time; partition and per-link degradation rules apply here.
-			if c.partitioned(m.From, m.To) {
-				return
-			}
-			extra := 0.0
-			if rule, ok := c.links[linkKey{m.From, m.To}]; ok {
-				if rule.Loss > 0 && c.linkRand.Float64() < rule.Loss {
-					return
-				}
-				if rule.ExtraDelay != nil {
-					extra = rule.ExtraDelay.Sample(c.linkRand)
-				}
-			}
-			deliver := func() {
-				// Step 5-6: receiving queue + CPU_j for t_receive.
-				dst := c.hostFor(m.To)
-				cost := c.params.TReceive.Sample(dst.netRand)
-				if c.params.TailProb > 0 && dst.netRand.Float64() < c.params.TailProb {
-					cost += c.params.Tail.Sample(dst.netRand)
-				}
-				dst.reserveCPU(cost, func() {
-					// Step 7: the message is received by p_j.
-					if dst.down || dst.stack == nil {
-						return
-					}
-					c.delivered++
-					if c.traceFn != nil {
-						c.traceFn(m, c.sim.Now())
-					}
-					dst.stack.Dispatch(m)
-				})
-			}
-			if extra > 0 {
-				c.sim.At(c.sim.Now()+extra, deliver)
-			} else {
-				deliver()
-			}
-		})
-	})
+		if rule.ExtraDelay != nil {
+			extra = rule.ExtraDelay.Sample(c.linkRand)
+		}
+	}
+	if extra > 0 {
+		c.sim.At(c.sim.Now()+extra, t.deliverFn)
+	} else {
+		t.deliver()
+	}
 }
 
-// simTimer implements neko.TimerHandle.
+// deliver runs step 5-6: receiving queue + CPU_j for t_receive.
+func (t *transit) deliver() {
+	c := t.c
+	cost := c.params.TReceive.Sample(t.dst.netRand)
+	if c.params.TailProb > 0 && t.dst.netRand.Float64() < c.params.TailProb {
+		cost += c.params.Tail.Sample(t.dst.netRand)
+	}
+	t.dst.reserveCPU(cost, t.recvFn)
+}
+
+// recv runs step 7: the message is received by p_j. The record is
+// released before dispatch so sends triggered by the handler reuse it.
+func (t *transit) recv() {
+	c, dst, m := t.c, t.dst, t.m
+	c.releaseTransit(t)
+	if dst.down || dst.stack == nil {
+		return
+	}
+	c.delivered++
+	if c.traceFn != nil {
+		c.traceFn(m, c.sim.Now())
+	}
+	dst.stack.Dispatch(m)
+}
+
+// simTimer implements neko.TimerHandle. Records are pooled per cluster:
+// Stop retires the record to the free list immediately, and Cluster.Reset
+// reclaims all of them, so a handle is valid for one arm→fire/stop cycle
+// only (the neko.TimerHandle contract). gen disambiguates incarnations
+// for the pooled fire callbacks, exactly as des event records do.
 type simTimer struct {
-	h       *host
-	handle  des.Handle
-	epoch   uint64
-	stopped bool
+	h        *host
+	handle   des.Handle
+	epoch    uint64
+	gen      uint64
+	stopped  bool
+	released bool
+	fn       func()
+	fireFn   func()
 }
 
-// Stop implements neko.TimerHandle.
+func (c *Cluster) makeTimer() *simTimer {
+	t := &simTimer{}
+	t.fireFn = t.fire
+	return t
+}
+
+func (c *Cluster) releaseTimer(t *simTimer) {
+	t.gen++
+	t.released = true
+	t.fn = nil
+	c.timers.put(t)
+}
+
+// Stop implements neko.TimerHandle. The record returns to the pool, so
+// Stop must be called at most once and the handle discarded afterwards.
 func (t *simTimer) Stop() {
+	if t.released {
+		return
+	}
 	t.stopped = true
 	t.h.c.sim.Cancel(t.handle)
+	t.h.c.releaseTimer(t)
+}
+
+// fire is the timer's wake-up event: the callback needs the CPU (zero
+// cost, but FIFO behind pauses and in-flight receive processing), so it
+// is routed through reserveCPU via a pooled fireCall that remembers which
+// incarnation of the record armed it.
+func (t *simTimer) fire() {
+	fc := t.h.c.fires.get()
+	fc.t, fc.gen = t, t.gen
+	t.h.reserveCPU(0, fc.runFn)
+}
+
+// fireCall is the pooled CPU-queue callback of a timer firing.
+type fireCall struct {
+	c     *Cluster
+	t     *simTimer
+	gen   uint64
+	runFn func()
+}
+
+func (c *Cluster) makeFireCall() *fireCall {
+	fc := &fireCall{c: c}
+	fc.runFn = fc.run
+	return fc
+}
+
+func (fc *fireCall) run() {
+	t, gen := fc.t, fc.gen
+	fc.t = nil
+	fc.c.fires.put(fc)
+	h := t.h
+	// A mismatched generation means the record was stopped (and possibly
+	// recycled into a different timer) between wake-up and CPU grant —
+	// the same suppression the pre-pool code got from its per-arm
+	// stopped flag.
+	if t.gen != gen || t.stopped || h.down || t.epoch != h.epoch {
+		return
+	}
+	t.fn()
 }
 
 // SetTimer implements neko.Context. The callback is subject to scheduler
@@ -534,17 +778,13 @@ func (h *host) SetTimer(d float64, fn func()) neko.TimerHandle {
 		d = 0
 	}
 	ideal := h.c.sim.Now() + d
-	t := &simTimer{h: h, epoch: h.epoch}
-	t.handle = h.c.sim.At(ideal+h.wakeLateness(ideal), func() {
-		// Wake-up: needs the CPU (zero cost, but FIFO behind pauses and
-		// in-flight receive processing).
-		h.reserveCPU(0, func() {
-			if t.stopped || h.down || t.epoch != h.epoch {
-				return
-			}
-			fn()
-		})
-	})
+	t := h.c.timers.get()
+	t.h = h
+	t.epoch = h.epoch
+	t.stopped = false
+	t.released = false
+	t.fn = fn
+	t.handle = h.c.sim.At(ideal+h.wakeLateness(ideal), t.fireFn)
 	return t
 }
 

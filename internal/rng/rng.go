@@ -38,8 +38,17 @@ func splitmix64(state *uint64) uint64 {
 // New returns a Stream seeded from the given seed. Distinct seeds give
 // statistically independent streams.
 func New(seed uint64) *Stream {
-	st := seed
 	var r Stream
+	r.Reseed(seed)
+	return &r
+}
+
+// Reseed reinitializes the stream in place, exactly as New(seed) would,
+// without allocating. Reusable simulators (netsim.Cluster.Reset and
+// friends) reseed their retained child streams instead of deriving fresh
+// ones, so replica turnover stays allocation-free.
+func (r *Stream) Reseed(seed uint64) {
+	st := seed
 	r.key = splitmix64(&st)
 	for i := range r.s {
 		r.s[i] = splitmix64(&st)
@@ -49,7 +58,6 @@ func New(seed uint64) *Stream {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return &r
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
@@ -73,16 +81,24 @@ func (r *Stream) Uint64() uint64 {
 // parent has produced — per-entity streams are stable across runs
 // regardless of construction or consumption order.
 func (r *Stream) Child(id uint64) *Stream {
-	st := r.key ^ (id+1)*0x9e3779b97f4a7c15
 	var c Stream
-	c.key = splitmix64(&st)
-	for i := range c.s {
-		c.s[i] = splitmix64(&st)
-	}
-	if c.s[0]|c.s[1]|c.s[2]|c.s[3] == 0 {
-		c.s[0] = 1
-	}
+	r.ChildInto(&c, id)
 	return &c
+}
+
+// ChildInto derives the Child(id) stream into dst in place: dst ends up
+// bit-identical to Child(id) without a heap allocation. It is the reseed
+// counterpart of Child for simulators that retain their per-entity
+// streams across replicas.
+func (r *Stream) ChildInto(dst *Stream, id uint64) {
+	st := r.key ^ (id+1)*0x9e3779b97f4a7c15
+	dst.key = splitmix64(&st)
+	for i := range dst.s {
+		dst.s[i] = splitmix64(&st)
+	}
+	if dst.s[0]|dst.s[1]|dst.s[2]|dst.s[3] == 0 {
+		dst.s[0] = 1
+	}
 }
 
 // Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.

@@ -206,3 +206,44 @@ func TestMul128(t *testing.T) {
 		}
 	}
 }
+
+// TestReseedMatchesNew: reseeding a used stream in place must make it
+// bit-identical to a freshly constructed one — including its Child
+// derivations (the key is part of the reseed).
+func TestReseedMatchesNew(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 100; i++ {
+		s.Uint64()
+	}
+	s.Reseed(42)
+	fresh := New(42)
+	for i := 0; i < 64; i++ {
+		if a, b := s.Uint64(), fresh.Uint64(); a != b {
+			t.Fatalf("draw %d: reseeded %x != fresh %x", i, a, b)
+		}
+	}
+	if a, b := s.Child(7).Uint64(), fresh.Child(7).Uint64(); a != b {
+		t.Fatalf("child of reseeded stream differs: %x != %x", a, b)
+	}
+}
+
+// TestChildIntoMatchesChild: in-place child derivation is bit-identical
+// to Child and allocation-free.
+func TestChildIntoMatchesChild(t *testing.T) {
+	parent := New(3)
+	var dst Stream
+	for id := uint64(0); id < 50; id++ {
+		parent.ChildInto(&dst, id)
+		want := parent.Child(id)
+		for i := 0; i < 8; i++ {
+			if a, b := dst.Uint64(), want.Uint64(); a != b {
+				t.Fatalf("id %d draw %d: ChildInto %x != Child %x", id, i, a, b)
+			}
+		}
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		parent.ChildInto(&dst, 9)
+	}); allocs > 0 {
+		t.Fatalf("ChildInto allocates %.1f objects/op, want 0", allocs)
+	}
+}

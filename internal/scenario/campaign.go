@@ -112,14 +112,29 @@ func RunCampaignContext(ctx context.Context, spec CampaignSpec) ([]*Report, erro
 	}
 	seeds := rng.New(spec.Seed ^ 0xca3faa16)
 	units := len(spec.Scenarios) * spec.Replicas
-	results, err := parallel.Map(ctx, spec.Workers, units, func(_, i int) (*Result, error) {
+	// Each worker owns one reusable replica assembly (cluster, stacks,
+	// engines, detectors) and rewinds it per grid unit instead of
+	// constructing per replica; it is rebuilt only when the worker moves
+	// to a different scenario. Reused and fresh assemblies are
+	// bit-identical (see replica.run), so the campaign stays
+	// deterministic at any worker count.
+	cache := make([]*replica, parallel.Workers(spec.Workers))
+	results, err := parallel.Map(ctx, spec.Workers, units, func(w, i int) (*Result, error) {
 		s := spec.Scenarios[i/spec.Replicas]
-		return Run(s, RunConfig{
-			Executions: spec.Executions,
-			Seed:       seeds.Child(uint64(i)).Uint64(),
-			MaxRounds:  spec.MaxRounds,
-			Deadline:   spec.Deadline,
-		})
+		rep := cache[w]
+		if rep == nil || rep.s != s {
+			var err error
+			rep, err = newReplica(s, RunConfig{
+				Executions: spec.Executions,
+				MaxRounds:  spec.MaxRounds,
+				Deadline:   spec.Deadline,
+			})
+			if err != nil {
+				return nil, err
+			}
+			cache[w] = rep
+		}
+		return rep.run(seeds.Child(uint64(i)).Uint64())
 	})
 	if err != nil {
 		return nil, err

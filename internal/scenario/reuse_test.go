@@ -1,0 +1,97 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRunReuseMatchesFresh is the scenario-level reset ≡ fresh
+// differential: rerunning one replica assembly across seeds must produce
+// bit-identical results to constructing a fresh assembly per seed — for
+// every built-in scenario, covering crashes/recoveries, partitions, link
+// rules, pause storms, workload phases, and both detector kinds.
+func TestRunReuseMatchesFresh(t *testing.T) {
+	for _, name := range Names() {
+		s, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := RunConfig{Executions: 40}
+		reused, err := newReplica(s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := uint64(1); seed <= 5; seed++ {
+			cfg.Seed = seed
+			want, err := Run(s, cfg) // fresh assembly per replica
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := reused.run(seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s seed %d: reused replica result differs from fresh construction:\n got %+v\nwant %+v",
+					name, seed, got, want)
+			}
+		}
+	}
+}
+
+// TestScenarioReplicaSteadyStateAllocs pins the allocation-lean replica
+// loop: with the assembly reused, a steady-state replica must not
+// reconstruct the cluster, stacks, engines or detectors. The remaining
+// per-execution cost is payload boxing on the consensus/heartbeat wire
+// messages, the per-execution watchdog closure, and the per-replica
+// timeline compilation + result — two orders of magnitude below the
+// ~25k allocations a constructed-per-replica gc-storm run used to take.
+func TestScenarioReplicaSteadyStateAllocs(t *testing.T) {
+	s, err := Get("gc-storm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const execs = 50
+	r, err := newReplica(s, RunConfig{Executions: execs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the pools across a few seeds (different seeds exercise
+	// different event interleavings and pool high-water marks).
+	seed := uint64(1)
+	for ; seed <= 3; seed++ {
+		if _, err := r.run(seed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		seed++
+		if _, err := r.run(seed); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perExec := allocs / execs; perExec > 40 {
+		t.Fatalf("steady-state replica allocates %.0f objects (%.1f/execution), want <= 40/execution", allocs, perExec)
+	}
+}
+
+// TestSubSkewDeadline: a Deadline below the clock-skew spread lets the
+// watchdog close an execution before some host's StartAt fires. The
+// stale StartAt must be a no-op — its pooled record carries the
+// execution index it was armed for — not a ghost Propose into the
+// successor execution. With a 0.02 ms deadline no consensus can complete
+// (one hop needs ~0.1 ms), so every execution must be cleanly aborted
+// and nothing may decide, panic, or trip the agreement checks.
+func TestSubSkewDeadline(t *testing.T) {
+	s := New("tiny-deadline", 3).WithExecutions(30)
+	for seed := uint64(1); seed <= 20; seed++ {
+		res, err := Run(s, RunConfig{Seed: seed, Deadline: 0.02})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Decided != 0 || res.Aborted != 30 {
+			t.Fatalf("seed %d: %d decided / %d aborted, want 0/30 (ghost proposals leaked?)",
+				seed, res.Decided, res.Aborted)
+		}
+	}
+}

@@ -61,17 +61,33 @@ func (r *Result) DecisionsPerSec() float64 {
 	return float64(r.Decided) / r.Texp * 1000
 }
 
-// runner drives one replica: sequential consensus executions whose start
-// gap follows the scenario's workload phases, against a cluster with the
-// scenario's timeline injected.
-type runner struct {
-	s        *Scenario
-	cfg      RunConfig
-	cluster  *netsim.Cluster
+// replica is one reusable scenario executor: the cluster, protocol
+// stacks, consensus engines and failure detectors are assembled once
+// (newReplica), then rewound and rerun for every Monte-Carlo replica of
+// the scenario (run). Campaign workers keep one replica per worker — the
+// san.Transient pattern — so steady-state campaign execution constructs
+// nothing per replica; run(seed) on a reused replica is bit-identical to
+// a fresh construct-then-run from the same seed.
+type replica struct {
+	s          *Scenario
+	cfg        RunConfig
+	cluster    *netsim.Cluster
+	engines    []*consensus.Engine
+	heartbeats []*fd.Heartbeat
+	history    *fd.History
+	// Per-process Propose decision/abort hooks, allocated once. They
+	// read the current execution index at fire time, which is safe:
+	// engine callbacks only fire while their instance is active, and
+	// instances are forgotten when their execution closes.
+	decideFns []func(consensus.Decision)
+	doneFns   []func()
+	phaseFn   func(name string, at float64)
+	// startFree recycles the per-arm StartAt records (see startCall).
+	startFree []*startCall
+
+	// Per-run state.
 	tl       *Timeline
-	engines  []*consensus.Engine
 	res      *Result
-	history  *fd.History
 	curGap   float64
 	running  bool
 	execIdx  int
@@ -88,6 +104,19 @@ type runner struct {
 
 // Run executes one replica of the scenario and returns its result.
 func Run(s *Scenario, cfg RunConfig) (*Result, error) {
+	r, err := newReplica(s, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return r.run(cfg.Seed)
+}
+
+// newReplica validates the scenario, applies config defaults, and builds
+// the cluster + protocol assembly. The construction randomness drawn
+// here is throwaway: run always rewinds the cluster from the replica
+// seed before executing, so fresh and reused replicas take the same
+// path.
+func newReplica(s *Scenario, cfg RunConfig) (*replica, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -107,7 +136,6 @@ func Run(s *Scenario, cfg RunConfig) (*Result, error) {
 			cfg.Deadline = 500
 		}
 	}
-	root := rng.New(cfg.Seed ^ 0x5ce7a51ed)
 	params := netsim.DefaultParams(s.N)
 	params.Crashed = s.InitialCrashed
 	if s.PauseEvery != nil {
@@ -116,60 +144,122 @@ func Run(s *Scenario, cfg RunConfig) (*Result, error) {
 	if s.PauseDur != nil {
 		params.PauseDur = s.PauseDur
 	}
-	cluster, err := netsim.New(params, root.Child(1))
+	cluster, err := netsim.New(params, rng.New(0))
 	if err != nil {
 		return nil, err
 	}
-	r := &runner{
-		s:       s,
-		cfg:     cfg,
-		cluster: cluster,
-		engines: make([]*consensus.Engine, s.N+1),
-		res:     &Result{},
-		history: &fd.History{},
-		curGap:  s.Gap,
+	r := &replica{
+		s:         s,
+		cfg:       cfg,
+		cluster:   cluster,
+		engines:   make([]*consensus.Engine, s.N+1),
+		history:   &fd.History{},
+		decideFns: make([]func(consensus.Decision), s.N+1),
+		doneFns:   make([]func(), s.N+1),
 	}
-	tl, err := s.compile(cluster, root.Child(2))
-	if err != nil {
-		return nil, err
-	}
-	r.tl = tl
-	// Workload phases arrive through the cluster's phase hook, so the gap
-	// switch happens at the injected instant of simulated time.
-	cluster.OnPhase(func(_ string, at float64) { r.curGap = tl.GapAt(at) })
+	r.phaseFn = func(_ string, at float64) { r.curGap = r.tl.GapAt(at) }
 
 	periodTh := s.PeriodTh
 	if s.TimeoutT > 0 && periodTh == 0 {
 		periodTh = 0.7 * s.TimeoutT
 	}
-	var heartbeats []*fd.Heartbeat
 	for i := 1; i <= s.N; i++ {
 		id := neko.ProcessID(i)
 		stack := neko.NewStack(cluster.Context(id))
 		var det neko.FailureDetector
 		if s.TimeoutT > 0 {
 			hb := fd.NewHeartbeat(stack, s.TimeoutT, periodTh, r.history)
-			heartbeats = append(heartbeats, hb)
+			r.heartbeats = append(r.heartbeats, hb)
 			det = hb
 		} else {
 			det = fd.NewOracle(s.InitialCrashed...)
 		}
 		r.engines[i] = consensus.NewEngine(stack, det, consensus.Options{MaxRounds: cfg.MaxRounds})
 		cluster.Attach(id, stack)
+		r.decideFns[i] = func(d consensus.Decision) { r.onDecision(r.execIdx, d) }
+		r.doneFns[i] = func() { r.onProcessDone(r.execIdx) }
 	}
-	cluster.Start()
+	return r, nil
+}
+
+// startCall is a pooled StartAt callback carrying the execution index it
+// was armed for: a stale call — possible when a sub-clock-skew Deadline
+// lets the watchdog close an execution before its StartAts fire — is a
+// no-op instead of proposing into the successor execution.
+type startCall struct {
+	r     *replica
+	i, k  int
+	runFn func()
+}
+
+func (r *replica) newStartCall(i, k int) *startCall {
+	var sc *startCall
+	if n := len(r.startFree); n > 0 {
+		sc = r.startFree[n-1]
+		r.startFree[n-1] = nil
+		r.startFree = r.startFree[:n-1]
+	} else {
+		sc = &startCall{r: r}
+		sc.runFn = sc.run
+	}
+	sc.i, sc.k = i, k
+	return sc
+}
+
+func (sc *startCall) run() {
+	r, i, k := sc.r, sc.i, sc.k
+	r.startFree = append(r.startFree, sc)
+	if r.closed || k != r.execIdx {
+		return
+	}
+	r.engines[i].Propose(uint64(k), int64(i), r.decideFns[i], r.doneFns[i])
+}
+
+// run rewinds the whole assembly to the given replica seed and executes
+// the scenario once. The rewind reproduces construction exactly —
+// cluster randomness, timeline compilation, protocol state — so a reused
+// replica is bit-identical to a freshly built one (pinned by
+// TestRunReuseMatchesFresh).
+func (r *replica) run(seed uint64) (*Result, error) {
+	root := rng.New(seed ^ 0x5ce7a51ed)
+	r.cluster.Reset(root.Child(1))
+	for _, e := range r.engines {
+		if e != nil {
+			e.Reset()
+		}
+	}
+	r.history.Reset()
+	for _, hb := range r.heartbeats {
+		hb.Reset(r.history)
+	}
+	r.res = &Result{}
+	r.curGap = r.s.Gap
+	r.running = false
+	r.closed = false
+	r.err = nil
+
+	tl, err := r.s.compile(r.cluster, root.Child(2))
+	if err != nil {
+		return nil, err
+	}
+	r.tl = tl
+	// Workload phases arrive through the cluster's phase hook, so the gap
+	// switch happens at the injected instant of simulated time.
+	r.cluster.OnPhase(r.phaseFn)
+
+	r.cluster.Start()
 	r.startExec(0, 20) // warmup matches the experiment harness (§4)
-	cluster.Run(func() bool { return !r.running || r.err != nil })
+	r.cluster.Run(func() bool { return !r.running || r.err != nil })
 	if r.err != nil {
 		return nil, r.err
 	}
-	r.res.Texp = cluster.Now()
-	r.res.Events = cluster.Steps()
-	for _, hb := range heartbeats {
+	r.res.Texp = r.cluster.Now()
+	r.res.Events = r.cluster.Steps()
+	for _, hb := range r.heartbeats {
 		hb.Stop()
 	}
-	if s.TimeoutT > 0 {
-		r.res.QoS = fd.EstimateQoS(r.history, r.res.Texp, s.N)
+	if r.s.TimeoutT > 0 {
+		r.res.QoS = fd.EstimateQoS(r.history, r.res.Texp, r.s.N)
 	}
 	for _, e := range r.history.Events() {
 		if e.Suspected {
@@ -185,7 +275,7 @@ func Run(s *Scenario, cfg RunConfig) (*Result, error) {
 // startExec launches execution k at local time t0 on every process that
 // the timeline says is up (crashed processes never start; the cluster
 // additionally guards against races at the boundary).
-func (r *runner) startExec(k int, t0 float64) {
+func (r *replica) startExec(k int, t0 float64) {
 	r.running = true
 	r.execIdx = k
 	r.execT0 = t0
@@ -202,16 +292,7 @@ func (r *runner) startExec(k int, t0 float64) {
 			continue
 		}
 		r.upCount++
-		i := i
-		r.cluster.StartAt(id, t0, func() {
-			if r.closed {
-				return
-			}
-			r.engines[i].Propose(uint64(k), int64(i),
-				func(d consensus.Decision) { r.onDecision(k, d) },
-				func() { r.onProcessDone(k) },
-			)
-		})
+		r.cluster.StartAt(id, t0, r.newStartCall(i, k).runFn)
 	}
 	// Watchdog: mid-run crashes, partitions, and catastrophic suspicion
 	// storms must not hang the campaign. Scheduled globally so no host
@@ -223,7 +304,7 @@ func (r *runner) startExec(k int, t0 float64) {
 	}
 }
 
-func (r *runner) onDecision(k int, d consensus.Decision) {
+func (r *replica) onDecision(k int, d consensus.Decision) {
 	if r.closed || k != r.execIdx {
 		return
 	}
@@ -250,7 +331,7 @@ func (r *runner) onDecision(k int, d consensus.Decision) {
 	r.onProcessDone(k)
 }
 
-func (r *runner) onProcessDone(k int) {
+func (r *replica) onProcessDone(k int) {
 	if r.closed || k != r.execIdx {
 		return
 	}
@@ -262,7 +343,7 @@ func (r *runner) onProcessDone(k int) {
 
 // closeExec finalizes execution k (normally or via watchdog) and
 // schedules the next one a current-workload-gap later.
-func (r *runner) closeExec(k int) {
+func (r *replica) closeExec(k int) {
 	if r.closed || k != r.execIdx {
 		return
 	}

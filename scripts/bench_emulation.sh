@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# Runs the emulation-path benchmark suite — the scenario campaign
+# benchmarks, the cluster reset-vs-construct pair, and the campaign
+# memory benchmark — and writes the results to BENCH_emulation.json via
+# cmd/benchjson, so the perf trajectory of the allocation-lean emulator
+# is tracked per commit (CI uploads the file as a build artifact).
+#
+# BENCHTIME tunes the per-benchmark budget (default 5x iterations; CI
+# uses a smaller smoke value). The human-readable output still streams to
+# stderr, so the script is usable interactively.
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-5x}"
+OUT="${OUT:-BENCH_emulation.json}"
+
+# Two stages, not a pipeline: POSIX sh has no pipefail, and a pipeline
+# would report benchjson's status even when go test itself fails — CI
+# must go red when a benchmark stops building or panics.
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+go test -run=- \
+    -bench 'BenchmarkScenarioCampaign(Serial|Parallel)|BenchmarkCluster(Reset|NewPerReplica)|BenchmarkCampaignMemory|BenchmarkDESSchedule$' \
+    -benchmem -benchtime "$BENCHTIME" \
+    ./internal/scenario/ ./internal/netsim/ ./internal/metrics/ ./internal/des/ \
+    >"$TMP"
+cat "$TMP" >&2
+
+go run ./cmd/benchjson -o "$OUT" <"$TMP"
+echo "wrote $OUT" >&2
