@@ -40,6 +40,23 @@ func (e Engine) String() string {
 // name in JSON results.
 func (e Engine) MarshalText() ([]byte, error) { return []byte(e.String()), nil }
 
+// UnmarshalText implements encoding.TextUnmarshaler: the inverse of
+// MarshalText, needed to decode serialized Results (shard records) and
+// study specs.
+func (e *Engine) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "san":
+		*e = SAN
+	case "emulation":
+		*e = Emulation
+	case "scenario":
+		*e = Scenario
+	default:
+		return fmt.Errorf("campaign: unknown engine %q", text)
+	}
+	return nil
+}
+
 // Point is one cell of a study grid: an engine binding plus the
 // engine-specific configuration. The three implementations are
 // LatencyPoint (Emulation), SANPoint (SAN), and ScenarioPoint (Scenario).

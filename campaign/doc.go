@@ -58,4 +58,30 @@
 // near-zero heap allocation. Rewinding is bit-identical to fresh
 // construction (see PERFORMANCE.md, "Reusable emulation assemblies"),
 // which is why the determinism guarantee above survives the reuse.
+//
+// # Sharding and resume
+//
+// Studies also cross process boundaries. EncodeStudy/DecodeStudy give a
+// Study a versioned JSON wire form ({"v":1,"name":...,"points":[...]},
+// unknown fields, engines, and versions rejected), and Frozen
+// materializes every default Run would resolve lazily — the per-index
+// child seed, the display label, the replica count — so any process
+// that freezes the same (spec, seed, replicas) inputs reconstructs the
+// identical grid, and running a sub-range of it is bit-identical to the
+// same points inside a full 1-process run.
+//
+// On top of that, RunShardRange executes points [start, end) of a
+// frozen study with one durable checkpoint record per completed point
+// (a CRC-framed JSONL line in an internal/checkpoint store, carrying
+// the point-spec hash, the public Result JSON verbatim, and the binary
+// metrics.Digest encoding). Points the store already holds are skipped,
+// so a shard killed mid-run loses at most the point in flight and
+// resumes from its checkpoint. MergeShardRecords folds the union of
+// every shard's records back into the complete grid in index order —
+// the same serial fold order as an in-process run — rejecting corrupt
+// records (CRC), stale records (point-hash mismatch after a spec
+// edit), and duplicates, and failing loudly if any point is missing.
+// The merged output is byte-identical to an uninterrupted 1-process
+// campaign; cmd/ctsan wraps this in a plan/supervise/merge CLI with
+// subprocess isolation, retry, and SIGKILL-resume differential tests.
 package campaign

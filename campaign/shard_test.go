@@ -1,0 +1,408 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"ctsan/internal/checkpoint"
+)
+
+// shardTestStudy is a small cross-engine grid: fast enough for unit
+// tests, wide enough to exercise per-point seeds, labels, and replica
+// defaults across all three engines.
+func shardTestStudy() *Study {
+	return NewStudy("shard-test",
+		SANPoint{N: 3, Replicas: 60},
+		LatencyPoint{N: 3, Executions: 25},
+		SANPoint{Name: "pinned-seed", N: 4, Replicas: 40, Seed: 99},
+		LatencyPoint{N: 3, Executions: 25, TimeoutT: 30},
+		SANPoint{N: 5, Replicas: 40, TSend: 0.05},
+	)
+}
+
+// resultLines is the reference output: the exact JSONL bytes (one line
+// per point, no trailing newline) a 1-process run emits.
+func resultLines(t *testing.T, study *Study, opts ...Option) [][]byte {
+	t.Helper()
+	results, err := RunCollect(context.Background(), study, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := make([][]byte, len(results))
+	for i, r := range results {
+		buf, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines[i] = buf
+	}
+	return lines
+}
+
+func TestStudySpecRoundTrip(t *testing.T) {
+	study := shardTestStudy()
+	spec, err := EncodeStudy(study)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeStudy(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec2, err := EncodeStudy(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(spec, spec2) {
+		t.Fatal("encode→decode→encode is not byte-stable")
+	}
+	// The decoded study must *run* identically, not just look identical.
+	ref := resultLines(t, study, WithSeed(7), WithWorkers(1))
+	got := resultLines(t, decoded, WithSeed(7), WithWorkers(1))
+	for i := range ref {
+		if !bytes.Equal(ref[i], got[i]) {
+			t.Fatalf("point %d diverged after spec round trip:\n%s\n%s", i, ref[i], got[i])
+		}
+	}
+}
+
+func TestDecodeStudyRejectsBadSpecs(t *testing.T) {
+	for name, spec := range map[string]string{
+		"bad version":    `{"v":2,"name":"x","points":[]}`,
+		"unknown engine": `{"v":1,"name":"x","points":[{"engine":"quantum","spec":{}}]}`,
+		"unknown field":  `{"v":1,"name":"x","points":[{"engine":"san","spec":{"N":3,"Replicaz":10}}]}`,
+		"not json":       `-`,
+	} {
+		if _, err := DecodeStudy([]byte(spec)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestFrozenRunsIdentically(t *testing.T) {
+	study := shardTestStudy()
+	opts := []Option{WithSeed(11), WithReplicas(30), WithWorkers(1)}
+	frozen, err := Frozen(study, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := resultLines(t, study, opts...)
+	// The frozen study runs identically WITHOUT the options: everything
+	// they resolved is pinned into the points.
+	got := resultLines(t, frozen, WithWorkers(1))
+	for i := range ref {
+		if !bytes.Equal(ref[i], got[i]) {
+			t.Fatalf("point %d diverged after freezing:\n%s\n%s", i, ref[i], got[i])
+		}
+	}
+	// Freezing is idempotent: a second freeze changes nothing.
+	again, err := Frozen(frozen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := EncodeStudy(frozen)
+	s2, _ := EncodeStudy(again)
+	if !bytes.Equal(s1, s2) {
+		t.Fatal("freezing is not idempotent")
+	}
+}
+
+func TestPointHash(t *testing.T) {
+	p := SANPoint{N: 3, Replicas: 60, Seed: 1}
+	h1, err := PointHash(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, _ := PointHash(p)
+	if h1 != h2 {
+		t.Fatal("hash not deterministic")
+	}
+	for name, q := range map[string]Point{
+		"different seed":    SANPoint{N: 3, Replicas: 60, Seed: 2},
+		"different n":       SANPoint{N: 4, Replicas: 60, Seed: 1},
+		"different engine":  LatencyPoint{N: 3, Seed: 1},
+		"differentnreplica": SANPoint{N: 3, Replicas: 61, Seed: 1},
+	} {
+		h, err := PointHash(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h == h1 {
+			t.Errorf("%s: hash collision with base point", name)
+		}
+	}
+}
+
+func TestShardRecordRoundTrip(t *testing.T) {
+	frozen, err := Frozen(shardTestStudy(), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := RunCollect(context.Background(), frozen, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashes, err := StudyPointHashes(frozen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		line, err := EncodeShardRecord(hashes[i], res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := DecodeShardRecord(line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Index != i || rec.PointHash != hashes[i] || rec.Seed != res.Seed {
+			t.Fatalf("record %d header mismatch: %+v", i, rec)
+		}
+		want, _ := json.Marshal(res)
+		if !bytes.Equal(rec.Result, want) {
+			t.Fatalf("record %d result bytes differ from the in-process JSON", i)
+		}
+		back, err := rec.DecodeResult()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+			a, b := res.Quantile(q), back.Quantile(q)
+			if math.Float64bits(a) != math.Float64bits(b) {
+				t.Fatalf("record %d: q=%g digest quantile %v != %v after round trip", i, q, b, a)
+			}
+		}
+		if got, _ := json.Marshal(back); !bytes.Equal(got, want) {
+			t.Fatalf("record %d: re-marshaled decoded result differs", i)
+		}
+	}
+}
+
+func TestShardRecordRejectsCorruption(t *testing.T) {
+	frozen, err := Frozen(NewStudy("s", SANPoint{N: 3, Replicas: 20}), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := RunCollect(context.Background(), frozen, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashes, _ := StudyPointHashes(frozen)
+	line, err := EncodeShardRecord(hashes[0], results[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeShardRecord(line); err != nil {
+		t.Fatalf("pristine record rejected: %v", err)
+	}
+	// Flip one bit inside the body: the CRC must catch it.
+	bad := append([]byte(nil), line...)
+	bad[len(bad)/2] ^= 0x01
+	if _, err := DecodeShardRecord(bad); err == nil {
+		t.Fatal("bit-flipped record accepted")
+	}
+	if _, err := DecodeShardRecord([]byte(`{"crc":"00000000","body":{}}`)); err == nil {
+		t.Fatal("wrong CRC accepted")
+	}
+	if _, err := DecodeShardRecord([]byte(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+// TestShardedRunMatchesSingleProcess is the in-process differential core
+// of the crash-safe sharding layer: executing a frozen study as several
+// checkpointed shard ranges and merging the stores reproduces, byte for
+// byte, the JSONL a 1-process run emits.
+func TestShardedRunMatchesSingleProcess(t *testing.T) {
+	study := shardTestStudy()
+	frozen, err := Frozen(study, WithSeed(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := resultLines(t, study, WithSeed(21), WithWorkers(1))
+
+	dir := t.TempDir()
+	ctx := context.Background()
+	var lines [][]byte
+	for _, r := range [][2]int{{0, 2}, {2, 3}, {3, 5}} {
+		store, err := checkpoint.Open(filepath.Join(dir, nameRange(r[0], r[1])))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := RunShardRange(ctx, frozen, r[0], r[1], store, nil, WithWorkers(2)); err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, store.Records()...)
+	}
+	records, skipped, err := MergeShardRecords(frozen, lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("%d records skipped in a clean run", skipped)
+	}
+	for i, rec := range records {
+		if !bytes.Equal(rec.Result, ref[i]) {
+			t.Fatalf("point %d: sharded result differs from 1-process run:\n%s\n%s", i, rec.Result, ref[i])
+		}
+	}
+}
+
+// TestShardResume pins the resume semantics: a store already holding
+// some points causes only the missing ones to re-execute, and the final
+// merged set is unchanged.
+func TestShardResume(t *testing.T) {
+	frozen, err := Frozen(shardTestStudy(), WithSeed(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Reference: the full range in one uninterrupted shard.
+	full, err := checkpoint.Open(filepath.Join(t.TempDir(), "full"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RunShardRange(ctx, frozen, 0, 5, full, nil, WithWorkers(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: execute only [0,2), i.e. a crash after two points.
+	path := filepath.Join(t.TempDir(), "interrupted")
+	store, err := checkpoint.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RunShardRange(ctx, frozen, 0, 2, store, nil, WithWorkers(1)); err != nil {
+		t.Fatal(err)
+	}
+	missing, _, err := MissingPoints(frozen, 0, 5, store.Records())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 3 {
+		t.Fatalf("missing = %v, want the 3 unexecuted points", missing)
+	}
+
+	// Resume: re-open (crash forgets the process, not the file) and run
+	// the full range; executed points must be skipped, and the store must
+	// end up identical to the uninterrupted one.
+	executed := 0
+	store2, err := checkpoint.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(i int, line []byte) error { executed++; return nil }
+	if err := RunShardRange(ctx, frozen, 0, 5, store2, count, WithWorkers(1)); err != nil {
+		t.Fatal(err)
+	}
+	if executed != 3 {
+		t.Fatalf("resume executed %d points, want 3", executed)
+	}
+	if len(store2.Records()) != len(full.Records()) {
+		t.Fatalf("resumed store has %d records, want %d", len(store2.Records()), len(full.Records()))
+	}
+	for i := range full.Records() {
+		if !bytes.Equal(store2.Records()[i], full.Records()[i]) {
+			t.Fatalf("record %d differs between resumed and uninterrupted stores", i)
+		}
+	}
+
+	// A second resume is a no-op.
+	executed = 0
+	if err := RunShardRange(ctx, frozen, 0, 5, store2, count, WithWorkers(1)); err != nil {
+		t.Fatal(err)
+	}
+	if executed != 0 {
+		t.Fatalf("fully-checkpointed shard re-executed %d points", executed)
+	}
+}
+
+func TestMergeShardRecordsReportsMissingAndStale(t *testing.T) {
+	frozen, err := Frozen(NewStudy("s", SANPoint{N: 3, Replicas: 20}, SANPoint{N: 4, Replicas: 20}), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := RunCollect(context.Background(), frozen, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashes, _ := StudyPointHashes(frozen)
+	line0, err := EncodeShardRecord(hashes[0], results[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only point 0 checkpointed: merge must fail naming point 1.
+	if _, _, err := MergeShardRecords(frozen, [][]byte{line0}); err == nil {
+		t.Fatal("incomplete merge succeeded")
+	}
+	// A record with a stale hash (spec changed since it was written) must
+	// not satisfy its index.
+	stale, err := EncodeShardRecord("sha256:deadbeef", results[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := MergeShardRecords(frozen, [][]byte{line0, stale}); err == nil {
+		t.Fatal("merge accepted a stale record")
+	}
+	line1, err := EncodeShardRecord(hashes[1], results[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, skipped, err := MergeShardRecords(frozen, [][]byte{stale, line1, line0, line1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 2 { // the stale record and the duplicate
+		t.Fatalf("skipped = %d, want 2", skipped)
+	}
+	if records[0].Index != 0 || records[1].Index != 1 {
+		t.Fatal("merged records out of index order")
+	}
+}
+
+func nameRange(a, b int) string {
+	return "shard-" + string(rune('0'+a)) + "-" + string(rune('0'+b)) + ".jsonl"
+}
+
+// FuzzDecodeShardRecord: the record decoder faces checkpoint files that
+// survived crashes and bit rot; it must never panic and never accept a
+// line whose CRC does not hold.
+func FuzzDecodeShardRecord(f *testing.F) {
+	frozen, err := Frozen(NewStudy("s", SANPoint{N: 3, Replicas: 10}), WithSeed(1))
+	if err != nil {
+		f.Fatal(err)
+	}
+	results, err := RunCollect(context.Background(), frozen, WithWorkers(1))
+	if err != nil {
+		f.Fatal(err)
+	}
+	hashes, _ := StudyPointHashes(frozen)
+	line, err := EncodeShardRecord(hashes[0], results[0])
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(line)
+	f.Add(line[:len(line)/2])
+	flipped := append([]byte(nil), line...)
+	flipped[len(flipped)/3] ^= 0x20
+	f.Add(flipped)
+	f.Add([]byte(`{"crc":"00000000","body":{}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := DecodeShardRecord(data)
+		if err != nil {
+			return
+		}
+		// Anything accepted must at least round-trip its digest; the
+		// result may still be rejected by DecodeResult's cross-checks.
+		if _, err := rec.DecodeResult(); err == nil {
+			if rec.Index < 0 {
+				t.Fatal("accepted record with negative index")
+			}
+		}
+	})
+}

@@ -24,6 +24,8 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+
+	"ctsan/internal/atomicio"
 )
 
 // Entry is one benchmark result.
@@ -80,7 +82,9 @@ func main() {
 	if *out == "" {
 		_, err = os.Stdout.Write(buf)
 	} else {
-		err = os.WriteFile(*out, buf, 0o644)
+		// Atomic replace: an interrupted run must not leave a torn
+		// BENCH_emulation.json for the next diff to choke on.
+		err = atomicio.WriteFile(*out, buf, 0o644)
 	}
 	if err != nil {
 		fatal(err)

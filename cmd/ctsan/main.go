@@ -1,0 +1,342 @@
+// Command ctsan is the crash-safe sharded campaign executor: it splits a
+// study grid into contiguous shard ranges, runs each range as an
+// isolated, checkpointed subprocess, and merges the per-point records
+// back into the exact JSONL a single uninterrupted process would emit.
+//
+//	ctsan run   -study spec.json -shards 4 -dir ckpt/ -o results.jsonl
+//	ctsan shard -study spec.json -range 0:12 -dir ckpt/
+//	ctsan merge -study spec.json -dir ckpt/ -o results.jsonl
+//
+// `run` is the supervisor: it plans the shard layout, re-executes this
+// binary once per range (`ctsan shard`), retries crashed, hung, or
+// panicked shards with exponential backoff, and finishes with a merge.
+// `shard` executes one range, appending each completed point to an
+// atomically-updated checkpoint file in -dir and skipping points that
+// file already holds — so a shard killed mid-run loses at most the
+// point in flight. `merge` folds every checkpoint record in -dir, in
+// grid-index order, verifying each record's CRC and point-spec hash.
+//
+// All three commands freeze the study deterministically from the same
+// (spec, -seed, -replicas) inputs, so the grid — per-point seeds
+// included — is identical in every participating process, and the merged
+// output is bit-identical to `run` with -shards 1, at any shard count,
+// across any number of crashes and resumes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"time"
+
+	"ctsan/campaign"
+	"ctsan/internal/atomicio"
+	"ctsan/internal/checkpoint"
+	"ctsan/internal/cliflags"
+	"ctsan/internal/shard"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+const usageText = `usage: ctsan <command> [flags]
+
+commands:
+  run    plan shards, supervise them as subprocesses, and merge
+  shard  execute one shard range with durable per-point checkpoints
+  merge  fold checkpoint records into the final results JSONL
+`
+
+// run dispatches a ctsan invocation; it is the whole binary behind an
+// injectable seam (args, streams, exit code) so the differential tests
+// can drive real subprocess supervision through the test binary itself.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		fmt.Fprint(stderr, usageText)
+		return 2
+	}
+	var err error
+	switch args[0] {
+	case "run":
+		err = cmdRun(ctx, args[1:], stderr)
+	case "shard":
+		err = cmdShard(ctx, args[1:], stderr)
+	case "merge":
+		err = cmdMerge(args[1:], stdout)
+	default:
+		fmt.Fprintf(stderr, "ctsan: unknown command %q\n%s", args[0], usageText)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "ctsan %s: %v\n", args[0], err)
+		return 1
+	}
+	return 0
+}
+
+// studyFlags are the inputs every command freezes the grid from; they
+// must match across supervisor, shards, and merge for the point hashes
+// to line up.
+type studyFlags struct {
+	study    *string
+	seed     *uint64
+	replicas *int
+}
+
+func registerStudyFlags(fs *flag.FlagSet) studyFlags {
+	return studyFlags{
+		study:    fs.String("study", "", "study spec JSON file (required)"),
+		seed:     cliflags.Seed(fs),
+		replicas: fs.Int("replicas", 0, "default replica count for points that do not set one"),
+	}
+}
+
+// frozen loads the spec and freezes it under the shared flags: the
+// deterministic step that makes every process see the identical grid.
+func (sf studyFlags) frozen() (*campaign.Study, error) {
+	if *sf.study == "" {
+		return nil, fmt.Errorf("-study is required")
+	}
+	if err := cliflags.CheckSeed(*sf.seed); err != nil {
+		return nil, err
+	}
+	spec, err := os.ReadFile(*sf.study)
+	if err != nil {
+		return nil, err
+	}
+	study, err := campaign.DecodeStudy(spec)
+	if err != nil {
+		return nil, err
+	}
+	return campaign.Frozen(study,
+		campaign.WithSeed(*sf.seed), campaign.WithReplicas(*sf.replicas))
+}
+
+// storePath names the checkpoint file of one shard range. Records carry
+// full-grid indices and point hashes, so merge does not depend on this
+// layout — it reads every shard-*.jsonl in the directory.
+func storePath(dir string, r shard.Range) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%06d-%06d.jsonl", r.Start, r.End))
+}
+
+func cmdShard(ctx context.Context, args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("ctsan shard", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	sf := registerStudyFlags(fs)
+	rangeArg := fs.String("range", "", "grid index range start:end (required)")
+	dir := fs.String("dir", "", "checkpoint directory (required)")
+	workers := cliflags.Workers(fs)
+	throttle := fs.Duration("throttle", 0, "pause after each checkpointed point (rate limiting and crash testing)")
+	crashAfter := fs.Int("crash-after", 0, "fault injection: panic after N newly checkpointed points")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	frozen, err := sf.frozen()
+	if err != nil {
+		return err
+	}
+	if *rangeArg == "" || *dir == "" {
+		return fmt.Errorf("-range and -dir are required")
+	}
+	r, err := shard.ParseRange(*rangeArg)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	store, err := checkpoint.Open(storePath(*dir, r))
+	if err != nil {
+		return err
+	}
+	executed := 0
+	onPoint := func(index int, line []byte) error {
+		executed++
+		fmt.Fprintf(stderr, "ctsan shard %s: point %d checkpointed (%d this attempt)\n", r, index, executed)
+		if *throttle > 0 {
+			time.Sleep(*throttle)
+		}
+		if *crashAfter > 0 && executed >= *crashAfter {
+			panic(fmt.Sprintf("ctsan shard %s: injected crash after %d points", r, executed))
+		}
+		return nil
+	}
+	return campaign.RunShardRange(ctx, frozen, r.Start, r.End, store, onPoint,
+		campaign.WithWorkers(*workers))
+}
+
+func cmdRun(ctx context.Context, args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("ctsan run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	sf := registerStudyFlags(fs)
+	shards := fs.Int("shards", 1, "number of shard subprocesses to plan")
+	dir := fs.String("dir", "", "checkpoint directory (required)")
+	out := fs.String("o", "", "merged results JSONL file (required)")
+	procs := fs.Int("procs", 0, "shards running concurrently; 0 = one per CPU")
+	workers := cliflags.Workers(fs)
+	timeout := fs.Duration("timeout", 0, "per-attempt shard timeout; 0 = none")
+	retries := fs.Int("retries", 2, "re-runs of a failed or incomplete shard")
+	backoff := fs.Duration("backoff", 250*time.Millisecond, "first retry delay, doubling per retry")
+	crashAfter := fs.Int("crash-after", 0, "fault injection: shards panic after N points on their first attempt")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	frozen, err := sf.frozen()
+	if err != nil {
+		return err
+	}
+	if *dir == "" || *out == "" {
+		return fmt.Errorf("-dir and -o are required")
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	self, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	ranges, err := shard.Plan(len(frozen.Points), *shards)
+	if err != nil {
+		return err
+	}
+
+	complete := func(r shard.Range) (bool, error) {
+		records, _, err := checkpoint.Load(storePath(*dir, r))
+		if err != nil {
+			return false, err
+		}
+		missing, _, err := campaign.MissingPoints(frozen, r.Start, r.End, records)
+		if err != nil {
+			return false, err
+		}
+		return len(missing) == 0, nil
+	}
+	exec := func(ctx context.Context, r shard.Range, attempt int) error {
+		sub := []string{"shard",
+			"-study", *sf.study,
+			"-seed", strconv.FormatUint(*sf.seed, 10),
+			"-replicas", strconv.Itoa(*sf.replicas),
+			"-range", r.String(),
+			"-dir", *dir,
+			"-workers", strconv.Itoa(*workers),
+		}
+		if *crashAfter > 0 && attempt == 0 {
+			sub = append(sub, "-crash-after", strconv.Itoa(*crashAfter))
+		}
+		return runShardProcess(ctx, self, sub, stderr)
+	}
+	err = shard.Run(ctx, ranges, shard.Options{
+		Timeout: *timeout,
+		Retries: *retries,
+		Backoff: *backoff,
+		Procs:   *procs,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(stderr, "ctsan run: "+format+"\n", args...)
+		},
+	}, exec, complete)
+	if err != nil {
+		return err
+	}
+	return mergeDir(frozen, *dir, *out, stderr)
+}
+
+// runShardProcess re-executes this binary for one shard attempt. The
+// context kills the subprocess (per-attempt timeout, ^C); CTSAN_EXEC=1
+// lets a test binary recognize the re-exec and route to run() instead of
+// the test runner.
+func runShardProcess(ctx context.Context, self string, args []string, stderr io.Writer) error {
+	cmd := exec.CommandContext(ctx, self, args...)
+	cmd.Env = append(os.Environ(), "CTSAN_EXEC=1")
+	cmd.Stdout = stderr // shard stdout is progress chatter, not results
+	cmd.Stderr = stderr
+	return cmd.Run()
+}
+
+func cmdMerge(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("ctsan merge", flag.ContinueOnError)
+	sf := registerStudyFlags(fs)
+	dir := fs.String("dir", "", "checkpoint directory (required)")
+	out := fs.String("o", "", "results JSONL file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	frozen, err := sf.frozen()
+	if err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("-dir is required")
+	}
+	if *out == "" {
+		return merge(frozen, *dir, stdout)
+	}
+	return mergeDir(frozen, *dir, *out, io.Discard)
+}
+
+// mergeDir merges into a file through the shared atomic-replace helper,
+// so a crash during merge never leaves a half-written results file.
+func mergeDir(frozen *campaign.Study, dir, out string, stderr io.Writer) error {
+	var buf []byte
+	w := &appendWriter{buf: &buf}
+	if err := merge(frozen, dir, w); err != nil {
+		return err
+	}
+	if err := atomicio.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "ctsan: merged %d points into %s\n", len(frozen.Points), out)
+	return nil
+}
+
+type appendWriter struct{ buf *[]byte }
+
+func (w *appendWriter) Write(p []byte) (int, error) {
+	*w.buf = append(*w.buf, p...)
+	return len(p), nil
+}
+
+// merge folds every checkpoint record under dir and emits, in grid-index
+// order, the exact Result JSON bytes each point's shard persisted — the
+// same bytes an in-process campaign.JSONLWriter emits, making sharded
+// and unsharded runs byte-identical.
+func merge(frozen *campaign.Study, dir string, w io.Writer) error {
+	files, err := filepath.Glob(filepath.Join(dir, "shard-*.jsonl"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(files)
+	var lines [][]byte
+	for _, f := range files {
+		records, dropped, err := checkpoint.Load(f)
+		if err != nil {
+			return err
+		}
+		if dropped > 0 {
+			fmt.Fprintf(os.Stderr, "ctsan merge: %s: dropped %d damaged trailing bytes\n", f, dropped)
+		}
+		lines = append(lines, records...)
+	}
+	records, skipped, err := campaign.MergeShardRecords(frozen, lines)
+	if err != nil {
+		return err
+	}
+	if skipped > 0 {
+		fmt.Fprintf(os.Stderr, "ctsan merge: skipped %d stale, duplicate, or corrupt records\n", skipped)
+	}
+	for _, rec := range records {
+		if _, err := w.Write(append(rec.Result, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}

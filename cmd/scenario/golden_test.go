@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"ctsan/internal/atomicio"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files with current output")
@@ -34,7 +36,9 @@ func TestRunJSONGolden(t *testing.T) {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+		// Atomic replace (temp+rename+fsync): a golden file must never be
+		// left torn by an interrupted -update run.
+		if err := atomicio.WriteFile(golden, []byte(got), 0o644); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -59,6 +59,21 @@
 // of cmd/testbed; reports carry latency percentiles, ground-truthed
 // wrong-suspicion rates, and decision throughput.
 //
+// Campaigns larger than one process shard across subprocesses — and
+// machines — through cmd/ctsan: a study spec plus (seed, replicas)
+// freezes deterministically into the identical grid everywhere
+// (campaign.Frozen), contiguous index ranges are planned and supervised
+// as isolated subprocesses with timeouts, bounded retries, and
+// exponential backoff (internal/shard), and every completed point is
+// checkpointed durably as a CRC-framed record via atomic file
+// replacement (internal/checkpoint, internal/atomicio). A shard that
+// crashes, panics, or is SIGKILLed loses at most the point in flight
+// and resumes from its checkpoint; the merge folds records in
+// grid-index order and is byte-identical to an uninterrupted 1-process
+// run, a property pinned by differential tests and fuzzed wire formats
+// (the versioned metrics.Digest binary/JSON encodings, study specs,
+// shard records, and checkpoint framing).
+//
 // See README.md for the layout, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for the reproduced tables and figures. The benchmarks in
 // bench_test.go regenerate every evaluation artifact of the paper.

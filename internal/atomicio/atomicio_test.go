@@ -1,0 +1,64 @@
+package atomicio
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileCreatesAndReplaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := WriteFile(path, []byte("first"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "first" {
+		t.Fatalf("content = %q", got)
+	}
+	if err := WriteFile(path, []byte("second"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "second" {
+		t.Fatalf("content after replace = %q", got)
+	}
+}
+
+func TestWriteFileLeavesNoTempDebris(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out")
+	if err := WriteFile(path, []byte("x"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	// A failed write (target is a directory, rename must fail) must clean
+	// its temp file and leave the target untouched.
+	blocked := filepath.Join(dir, "blocked")
+	if err := os.Mkdir(blocked, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(blocked, []byte("y"), 0o600); err == nil {
+		t.Fatal("writing over a directory succeeded")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp debris left behind: %s", e.Name())
+		}
+	}
+}
+
+func TestWriteFilePermissions(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "secret")
+	if err := WriteFile(path, []byte("k"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := info.Mode().Perm(); got != 0o600 {
+		t.Fatalf("perm = %o, want 600", got)
+	}
+}

@@ -1,0 +1,138 @@
+// Package checkpoint is a crash-safe JSONL record store for sharded
+// campaign results. A store is a single file of newline-terminated
+// records (one campaign shard record per line, see campaign's shard wire
+// format) with two guarantees the sharded execution layer is built on:
+//
+//   - Atomic appends. Append rewrites the whole file through
+//     internal/atomicio (temp file, fsync, rename, directory fsync), so
+//     at every instant the path holds a complete, valid JSONL prefix of
+//     the record history — a SIGKILL mid-append loses at most the record
+//     being appended, never earlier ones, and never leaves a torn file.
+//     Checkpoint files are small (one ~kB line per campaign point), so
+//     the O(records²) bytes rewritten over a shard's life are noise next
+//     to the Monte-Carlo work each record represents.
+//
+//   - Corruption-tolerant loads. Load never fails on damaged content: it
+//     returns the longest prefix of intact records and stops at the
+//     first bad line (torn tail from a foreign writer, truncation, bit
+//     rot — anything that is not a complete newline-terminated line).
+//     Deeper validation (CRC, spec hash) belongs to the record format
+//     layered on top; the store only guarantees line integrity, so a
+//     resumed run re-executes damaged work instead of aborting.
+//
+// Open combines the two: it loads the intact prefix and, if anything was
+// discarded, immediately rewrites the file to that clean prefix so the
+// on-disk state and the in-memory state agree from then on.
+package checkpoint
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+
+	"ctsan/internal/atomicio"
+)
+
+// Store is an append-only JSONL record file. It is not safe for
+// concurrent use by multiple goroutines or processes; the sharded
+// campaign layer gives every shard its own store file.
+type Store struct {
+	path string
+	// content is the exact current file content: every intact record,
+	// newline-terminated.
+	content []byte
+	// records indexes content line by line (without the newline).
+	records [][]byte
+	// dropped reports how many bytes of damaged tail Open discarded.
+	dropped int
+}
+
+// Open opens (or creates) the store at path, keeping the longest intact
+// record prefix and truncating any damaged tail on disk. A missing file
+// is an empty store, ready to append.
+func Open(path string) (*Store, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	records, intact := Scan(data)
+	s := &Store{path: path, records: records, dropped: len(data) - intact}
+	s.content = append(s.content, data[:intact]...)
+	if s.dropped > 0 {
+		// Repair now: rewrite the clean prefix atomically so a second
+		// crash cannot stack new corruption on old.
+		if err := atomicio.WriteFile(path, s.content, 0o644); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Load reads the store at path without opening it for writing: the
+// intact records and the number of damaged tail bytes that were ignored.
+// A missing file loads as zero records.
+func Load(path string) (records [][]byte, droppedBytes int, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("checkpoint: %w", err)
+	}
+	records, intact := Scan(data)
+	return records, len(data) - intact, nil
+}
+
+// Scan splits raw store content into intact records. A record is intact
+// iff it is a non-empty line terminated by '\n'; scanning stops at the
+// first violation (an unterminated tail, or an empty line — this store
+// never writes one, so it marks foreign damage). It returns the records
+// and the byte length of the intact prefix.
+func Scan(data []byte) (records [][]byte, intact int) {
+	for intact < len(data) {
+		nl := bytes.IndexByte(data[intact:], '\n')
+		if nl < 0 {
+			break // torn tail: record was being written when the process died
+		}
+		if nl == 0 {
+			break // empty line: not a record this store could have produced
+		}
+		records = append(records, data[intact:intact+nl])
+		intact += nl + 1
+	}
+	return records, intact
+}
+
+// Records returns the intact records, oldest first. The slices alias the
+// store's buffer; callers must not modify them.
+func (s *Store) Records() [][]byte { return s.records }
+
+// Dropped reports how many damaged tail bytes Open discarded (0 for a
+// clean file).
+func (s *Store) Dropped() int { return s.dropped }
+
+// Path returns the store's file path.
+func (s *Store) Path() string { return s.path }
+
+// Append durably adds one record: the new content is written to a temp
+// file, fsynced, and renamed over the store path, so the append is
+// all-or-nothing even against SIGKILL. The record must be non-empty and
+// must not contain a newline (it is the line framing).
+func (s *Store) Append(record []byte) error {
+	if len(record) == 0 {
+		return fmt.Errorf("checkpoint: empty record")
+	}
+	if bytes.IndexByte(record, '\n') >= 0 {
+		return fmt.Errorf("checkpoint: record contains a newline")
+	}
+	next := make([]byte, 0, len(s.content)+len(record)+1)
+	next = append(next, s.content...)
+	next = append(next, record...)
+	next = append(next, '\n')
+	if err := atomicio.WriteFile(s.path, next, 0o644); err != nil {
+		return err
+	}
+	s.content = next
+	s.records = append(s.records, next[len(next)-1-len(record):len(next)-1])
+	return nil
+}

@@ -14,10 +14,53 @@ package parallel
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// UnitPanic is the value re-raised when a work unit panics: it carries
+// the index of the unit that blew up and the stack of the original
+// panic site, which the re-raise on the calling goroutine would
+// otherwise lose. Nested pools (points fanning out into replicas) keep
+// the innermost UnitPanic, whose stack shows the full nesting.
+type UnitPanic struct {
+	// Index is the work-unit index passed to fn.
+	Index int
+	// Value is the original panic value.
+	Value any
+	// Stack is the stack trace captured at the panic site.
+	Stack []byte
+}
+
+func (p *UnitPanic) Error() string {
+	return fmt.Sprintf("parallel: work unit %d panicked: %v\n%s", p.Index, p.Value, p.Stack)
+}
+
+// Unwrap exposes a wrapped error panic value to errors.Is/As.
+func (p *UnitPanic) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// call invokes one work unit, converting a panic into a re-raised
+// *UnitPanic identifying the unit. An already-wrapped panic from a
+// nested pool passes through untouched.
+func call(fn func(worker, i int) error, worker, i int) error {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, wrapped := r.(*UnitPanic); wrapped {
+				panic(r)
+			}
+			panic(&UnitPanic{Index: i, Value: r, Stack: debug.Stack()})
+		}
+	}()
+	return fn(worker, i)
+}
 
 // Workers resolves a requested worker count: values <= 0 mean "one worker
 // per available CPU" (runtime.GOMAXPROCS(0)).
@@ -56,7 +99,8 @@ func InnerWorkers(workers, items int) int {
 // starts, in-flight units finish, and ForEach returns ctx.Err() (unless a
 // unit already failed — fn errors take precedence, and the error observed
 // for the lowest index is returned). A panic in fn is re-raised on the
-// calling goroutine.
+// calling goroutine, wrapped as *UnitPanic so the failing unit's index and
+// original stack survive the goroutine hop.
 func ForEach(ctx context.Context, workers, n int, fn func(worker, i int) error) error {
 	if n <= 0 {
 		return nil // vacuously complete, like a run whose units all finished
@@ -70,7 +114,7 @@ func ForEach(ctx context.Context, workers, n int, fn func(worker, i int) error) 
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(0, i); err != nil {
+			if err := call(fn, 0, i); err != nil {
 				return err
 			}
 		}
@@ -115,7 +159,7 @@ func ForEach(ctx context.Context, workers, n int, fn func(worker, i int) error) 
 				if i >= n {
 					return
 				}
-				if err := fn(wk, i); err != nil {
+				if err := call(fn, wk, i); err != nil {
 					fail(i, err)
 					return
 				}

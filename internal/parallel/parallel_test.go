@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -85,18 +86,66 @@ func TestForEachError(t *testing.T) {
 }
 
 func TestForEachPanicPropagates(t *testing.T) {
+	// Both the serial reference path and the pooled path must re-raise a
+	// unit panic on the caller, wrapped so the unit index and the original
+	// stack survive the goroutine hop.
+	for _, w := range []int{1, 4} {
+		func() {
+			defer func() {
+				up, ok := recover().(*UnitPanic)
+				if !ok {
+					t.Fatalf("workers=%d: panic value is not *UnitPanic", w)
+				}
+				if up.Index != 13 || up.Value != "kaboom" {
+					t.Fatalf("workers=%d: wrapped panic = {index %d, value %v}", w, up.Index, up.Value)
+				}
+				if !strings.Contains(string(up.Stack), "parallel_test") {
+					t.Fatalf("workers=%d: captured stack does not reach the panic site", w)
+				}
+			}()
+			_ = ForEach(bg, w, 100, func(_, i int) error {
+				if i == 13 {
+					panic("kaboom")
+				}
+				return nil
+			})
+			t.Fatal("unreachable: panic expected")
+		}()
+	}
+}
+
+func TestUnitPanicNested(t *testing.T) {
+	// Nested pools keep the innermost wrap: the replica index, not the
+	// point index, identifies the blast site.
 	defer func() {
-		if r := recover(); r != "kaboom" {
-			t.Fatalf("panic not re-raised on caller: %v", r)
+		up, ok := recover().(*UnitPanic)
+		if !ok || up.Index != 3 {
+			t.Fatalf("panic value = %#v, want inner *UnitPanic with index 3", recover())
 		}
 	}()
-	_ = ForEach(bg, 4, 100, func(_, i int) error {
-		if i == 13 {
-			panic("kaboom")
-		}
-		return nil
+	_ = ForEach(bg, 2, 4, func(_, outer int) error {
+		return ForEach(bg, 2, 8, func(_, inner int) error {
+			if outer == 1 && inner == 3 {
+				panic("inner kaboom")
+			}
+			return nil
+		})
 	})
 	t.Fatal("unreachable: panic expected")
+}
+
+func TestUnitPanicUnwrap(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	up := &UnitPanic{Index: 7, Value: fmt.Errorf("wrapped: %w", sentinel)}
+	if !errors.Is(up, sentinel) {
+		t.Fatal("error panic value not reachable through Unwrap")
+	}
+	if (&UnitPanic{Index: 1, Value: "text"}).Unwrap() != nil {
+		t.Fatal("non-error panic value produced an Unwrap error")
+	}
+	if !strings.Contains(up.Error(), "work unit 7") {
+		t.Fatalf("Error() does not name the unit: %q", up.Error())
+	}
 }
 
 func TestForEachCancellation(t *testing.T) {

@@ -1,0 +1,278 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPlan(t *testing.T) {
+	for _, tc := range []struct {
+		total, shards int
+		want          []Range
+	}{
+		{5, 2, []Range{{0, 3}, {3, 5}}},
+		{6, 3, []Range{{0, 2}, {2, 4}, {4, 6}}},
+		{3, 5, []Range{{0, 1}, {1, 2}, {2, 3}}}, // more shards than points
+		{1, 1, []Range{{0, 1}}},
+		{7, 3, []Range{{0, 3}, {3, 5}, {5, 7}}},
+	} {
+		got, err := Plan(tc.total, tc.shards)
+		if err != nil {
+			t.Fatalf("Plan(%d,%d): %v", tc.total, tc.shards, err)
+		}
+		if len(got) != len(tc.want) {
+			t.Fatalf("Plan(%d,%d) = %v, want %v", tc.total, tc.shards, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("Plan(%d,%d) = %v, want %v", tc.total, tc.shards, got, tc.want)
+			}
+		}
+	}
+	if _, err := Plan(0, 2); err == nil {
+		t.Fatal("Plan over zero points succeeded")
+	}
+	if _, err := Plan(5, 0); err == nil {
+		t.Fatal("Plan with zero shards succeeded")
+	}
+}
+
+func TestPlanCoversEveryIndexExactlyOnce(t *testing.T) {
+	for total := 1; total <= 40; total++ {
+		for shards := 1; shards <= 10; shards++ {
+			ranges, err := Plan(total, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			next := 0
+			for _, r := range ranges {
+				if r.Start != next || r.Len() < 1 {
+					t.Fatalf("Plan(%d,%d) = %v: gap or empty range", total, shards, ranges)
+				}
+				next = r.End
+			}
+			if next != total {
+				t.Fatalf("Plan(%d,%d) covers %d points", total, shards, next)
+			}
+			// Near-equal: lengths differ by at most one.
+			min, max := total, 0
+			for _, r := range ranges {
+				if r.Len() < min {
+					min = r.Len()
+				}
+				if r.Len() > max {
+					max = r.Len()
+				}
+			}
+			if max-min > 1 {
+				t.Fatalf("Plan(%d,%d) = %v: unbalanced", total, shards, ranges)
+			}
+		}
+	}
+}
+
+func TestParseRange(t *testing.T) {
+	r, err := ParseRange("3:7")
+	if err != nil || r != (Range{3, 7}) {
+		t.Fatalf("ParseRange(3:7) = %v, %v", r, err)
+	}
+	if r.String() != "3:7" {
+		t.Fatalf("round trip gave %q", r.String())
+	}
+	for _, bad := range []string{"", "3", "a:b", "5:5", "7:3", "-1:2"} {
+		if _, err := ParseRange(bad); err == nil {
+			t.Errorf("ParseRange(%q) succeeded", bad)
+		}
+	}
+}
+
+// fakeShards is an in-memory stand-in for checkpointed subprocesses:
+// exec attempts mark ranges complete (or fail), complete consults the
+// shared map.
+type fakeShards struct {
+	mu       sync.Mutex
+	complete map[Range]bool
+	attempts map[Range]int
+}
+
+func newFakeShards() *fakeShards {
+	return &fakeShards{complete: make(map[Range]bool), attempts: make(map[Range]int)}
+}
+
+func (f *fakeShards) isComplete(r Range) (bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.complete[r], nil
+}
+
+func (f *fakeShards) attempt(r Range) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.attempts[r]++
+	return f.attempts[r]
+}
+
+func (f *fakeShards) markComplete(r Range) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.complete[r] = true
+}
+
+var quick = Options{Backoff: time.Millisecond, Retries: 3, Procs: 2}
+
+func TestRunExecutesAndVerifies(t *testing.T) {
+	f := newFakeShards()
+	ranges, _ := Plan(10, 3)
+	err := Run(context.Background(), ranges, quick,
+		func(ctx context.Context, r Range, attempt int) error {
+			f.attempt(r)
+			f.markComplete(r)
+			return nil
+		}, f.isComplete)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range ranges {
+		if f.attempts[r] != 1 {
+			t.Fatalf("range %s attempted %d times", r, f.attempts[r])
+		}
+	}
+}
+
+func TestRunSkipsCompleteShards(t *testing.T) {
+	f := newFakeShards()
+	ranges, _ := Plan(6, 3)
+	f.markComplete(ranges[1])
+	var lines []string
+	o := quick
+	o.Procs = 1
+	o.Logf = func(format string, args ...any) { lines = append(lines, fmt.Sprintf(format, args...)) }
+	err := Run(context.Background(), ranges, o,
+		func(ctx context.Context, r Range, attempt int) error {
+			f.attempt(r)
+			f.markComplete(r)
+			return nil
+		}, f.isComplete)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.attempts[ranges[1]] != 0 {
+		t.Fatal("complete shard was re-executed")
+	}
+	if len(lines) != 1 || !strings.Contains(lines[0], "skipping") {
+		t.Fatalf("expected one skip log line, got %v", lines)
+	}
+}
+
+func TestRunRetriesCrashedShard(t *testing.T) {
+	f := newFakeShards()
+	ranges, _ := Plan(4, 2)
+	err := Run(context.Background(), ranges, quick,
+		func(ctx context.Context, r Range, attempt int) error {
+			// The first range dies twice before succeeding — a crashing
+			// subprocess. Isolation means the campaign survives.
+			if n := f.attempt(r); r.Start == 0 && n < 3 {
+				return errors.New("signal: killed")
+			}
+			f.markComplete(r)
+			return nil
+		}, f.isComplete)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.attempts[ranges[0]] != 3 {
+		t.Fatalf("crashing shard attempted %d times, want 3", f.attempts[ranges[0]])
+	}
+	if f.attempts[ranges[1]] != 1 {
+		t.Fatalf("healthy shard attempted %d times, want 1", f.attempts[ranges[1]])
+	}
+}
+
+func TestRunTrustsCheckpointOverExitStatus(t *testing.T) {
+	f := newFakeShards()
+	ranges, _ := Plan(2, 1)
+	// The process dies *after* persisting its last point: no retry needed.
+	err := Run(context.Background(), ranges, quick,
+		func(ctx context.Context, r Range, attempt int) error {
+			f.attempt(r)
+			f.markComplete(r)
+			return errors.New("signal: killed")
+		}, f.isComplete)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.attempts[ranges[0]] != 1 {
+		t.Fatalf("shard attempted %d times, want 1", f.attempts[ranges[0]])
+	}
+
+	// The inverse: a clean exit without a complete checkpoint is a
+	// failure, retried and eventually fatal.
+	f2 := newFakeShards()
+	err = Run(context.Background(), ranges, quick,
+		func(ctx context.Context, r Range, attempt int) error {
+			f2.attempt(r)
+			return nil
+		}, f2.isComplete)
+	if err == nil {
+		t.Fatal("lying exec accepted")
+	}
+	if !strings.Contains(err.Error(), "incomplete") {
+		t.Fatalf("error does not name the incomplete checkpoint: %v", err)
+	}
+	if f2.attempts[ranges[0]] != quick.Retries+1 {
+		t.Fatalf("attempted %d times, want %d", f2.attempts[ranges[0]], quick.Retries+1)
+	}
+}
+
+func TestRunTimeoutBoundsAttempt(t *testing.T) {
+	f := newFakeShards()
+	ranges, _ := Plan(1, 1)
+	o := quick
+	o.Timeout = 10 * time.Millisecond
+	err := Run(context.Background(), ranges, o,
+		func(ctx context.Context, r Range, attempt int) error {
+			if f.attempt(r) == 1 {
+				// A hung shard: blocks until the per-attempt deadline.
+				<-ctx.Done()
+				return ctx.Err()
+			}
+			f.markComplete(r)
+			return nil
+		}, f.isComplete)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.attempts[ranges[0]] != 2 {
+		t.Fatalf("hung shard attempted %d times, want 2", f.attempts[ranges[0]])
+	}
+}
+
+func TestRunHonorsCancellation(t *testing.T) {
+	f := newFakeShards()
+	ranges, _ := Plan(1, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	o := quick
+	o.Backoff = time.Hour // cancellation must cut the backoff sleep short
+	start := time.Now()
+	errc := make(chan error, 1)
+	go func() {
+		errc <- Run(ctx, ranges, o,
+			func(ctx context.Context, r Range, attempt int) error {
+				f.attempt(r)
+				return errors.New("boom")
+			}, f.isComplete)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancellation did not interrupt the backoff sleep")
+	}
+}

@@ -72,6 +72,30 @@ func (a *Accumulator) Merge(b *Accumulator) {
 	}
 }
 
+// State returns the accumulator's complete internal state — observation
+// count, running mean, the Welford M2 sum, and the extremes — so it can
+// be serialized exactly. Together with AccumulatorFromState it is the
+// persistence contract of the type: the float64 bit patterns round-trip
+// unchanged, so a restored accumulator is bit-identical to the original
+// (metrics.Digest's wire format relies on this).
+func (a *Accumulator) State() (n int, mean, m2, min, max float64) {
+	return a.n, a.mean, a.m2, a.min, a.max
+}
+
+// AccumulatorFromState reconstructs an accumulator from a State dump.
+// It rejects a negative count and the inconsistent "empty but nonzero
+// moments" shape so a corrupted serialization cannot smuggle in NaN-free
+// nonsense; all other float bit patterns are restored verbatim.
+func AccumulatorFromState(n int, mean, m2, min, max float64) (Accumulator, error) {
+	if n < 0 {
+		return Accumulator{}, fmt.Errorf("stats: accumulator state with negative n %d", n)
+	}
+	if n == 0 && (mean != 0 || m2 != 0 || min != 0 || max != 0) {
+		return Accumulator{}, fmt.Errorf("stats: empty accumulator state with nonzero moments")
+	}
+	return Accumulator{n: n, mean: mean, m2: m2, min: min, max: max}, nil
+}
+
 // N returns the number of observations.
 func (a *Accumulator) N() int { return a.n }
 
