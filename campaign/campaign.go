@@ -129,9 +129,24 @@ func WithWorkers(w int) Option { return func(o *options) { o.workers = w } }
 func WithReplicas(r int) Option { return func(o *options) { o.replicas = r } }
 
 // WithProgress installs a progress callback invoked after each result is
-// emitted to the sinks, in point-index order: done results so far, the
-// study's total point count, and the result just emitted. Calls are
-// serialized but may run on different worker goroutines.
+// emitted to the sinks: done results so far, the study's total point
+// count, and the result just emitted.
+//
+// The callback's ordering guarantees are part of the API:
+//
+//   - Sequential: calls never overlap — the next call does not begin
+//     until the previous one returns, so the callback needs no locking
+//     even on a parallel campaign.
+//   - Deterministic order: calls arrive in point-index order (done is
+//     exactly 1, 2, …, total) regardless of the worker count or which
+//     point finished computing first.
+//   - After the sinks: when the callback for point i runs, every sink
+//     has already accepted point i's result.
+//
+// Calls may run on different worker goroutines — only the ordering, not
+// the goroutine identity, is guaranteed. The callback executes inside
+// the emission critical section, so a slow callback delays result
+// delivery, not correctness.
 func WithProgress(fn func(done, total int, last *Result)) Option {
 	return func(o *options) { o.progress = fn }
 }

@@ -3,7 +3,10 @@ package campaign_test
 import (
 	"context"
 	"errors"
+	"fmt"
+	"runtime"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"ctsan/campaign"
@@ -294,6 +297,72 @@ func TestSinksReceiveOrderedStream(t *testing.T) {
 		}
 		if !strings.Contains(lines[i], `"point":"`+want+`"`) {
 			t.Fatalf("jsonl line %d does not mention point %q: %s", i, want, lines[i])
+		}
+	}
+}
+
+// countingSink counts emissions; safe without a lock because sink calls
+// are serialized (the same guarantee the progress test verifies).
+type countingSink struct{ n *int }
+
+func (s countingSink) Emit(*campaign.Result) error { *s.n++; return nil }
+func (s countingSink) Close() error                { return nil }
+
+// TestProgressOrderingGuarantees pins the WithProgress contract on a
+// parallel campaign: calls are sequential (never concurrent), arrive in
+// point-index order with done counting 1..total, and each call sees the
+// result the sinks just accepted. A sink that records emission order
+// cross-checks the "after the sinks" clause.
+func TestProgressOrderingGuarantees(t *testing.T) {
+	const points = 12
+	study := campaign.NewStudy("progress")
+	names := make([]string, points)
+	for i := 0; i < points; i++ {
+		names[i] = fmt.Sprintf("p%02d", i)
+		study.Add(campaign.SANPoint{Name: names[i], N: 3, Replicas: 40, Tmax: 1e6})
+	}
+
+	var (
+		inCallback atomic.Int32
+		calls      []int // done values, in call order
+		results    []string
+		sunk       int
+	)
+	var collected campaign.Collect
+	err := campaign.Run(bg, study,
+		campaign.WithWorkers(8),
+		campaign.WithSink(countingSink{&sunk}),
+		campaign.WithSink(&collected),
+		campaign.WithProgress(func(done, total int, last *campaign.Result) {
+			// Sequential: no other callback may be in flight.
+			if inCallback.Add(1) != 1 {
+				t.Error("progress callbacks overlap")
+			}
+			defer inCallback.Add(-1)
+			// Yield so an overlapping call (a bug) would actually get
+			// scheduled and trip the counter above.
+			runtime.Gosched()
+			if total != points {
+				t.Errorf("total = %d, want %d", total, points)
+			}
+			if sunk != done {
+				t.Errorf("callback for done=%d ran with only %d results sunk", done, sunk)
+			}
+			calls = append(calls, done)
+			results = append(results, last.Point)
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != points {
+		t.Fatalf("%d progress calls, want %d", len(calls), points)
+	}
+	for i, done := range calls {
+		if done != i+1 {
+			t.Fatalf("call %d reported done=%d, want %d (point-index order)", i, done, i+1)
+		}
+		if results[i] != names[i] {
+			t.Fatalf("call %d carried result %q, want %q", i, results[i], names[i])
 		}
 	}
 }

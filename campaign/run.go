@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"ctsan/internal/obs"
 	"ctsan/internal/parallel"
 	"ctsan/internal/rng"
 )
@@ -93,6 +94,7 @@ func run(ctx context.Context, study *Study, o *options) error {
 			return res, nil
 		},
 		func(i int, res *Result) error {
+			obs.Points.Add(1)
 			for _, s := range o.sinks {
 				if err := s.Emit(res); err != nil {
 					return fmt.Errorf("campaign: sink: %w", err)

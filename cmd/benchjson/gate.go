@@ -1,0 +1,90 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// gateLimits holds the per-metric regression thresholds in percent. A
+// negative limit disables that metric's gate.
+type gateLimits struct {
+	NSDrift     float64 // ns/op
+	AllocsDrift float64 // allocs/op
+}
+
+// gate compares a current benchmark document against a committed
+// baseline and returns one violation line per benchmark whose ns/op or
+// allocs/op regressed past the limits. Only regressions (positive
+// drift) gate — getting faster is never an error — and benchmarks
+// present on one side only are skipped, so adding or retiring a
+// benchmark does not require touching the gate. Entries are matched by
+// name (the GOMAXPROCS suffix is part of neither side's name), and the
+// violations come back sorted for stable CI logs.
+func gate(baseline, current Document, limits gateLimits) []string {
+	base := make(map[string]Entry, len(baseline.Benchmarks))
+	for _, e := range baseline.Benchmarks {
+		base[e.Name] = e
+	}
+	var violations []string
+	check := func(name, unit string, b, c Entry, limit float64) {
+		if limit < 0 {
+			return
+		}
+		bv, bok := b.Metrics[unit]
+		cv, cok := c.Metrics[unit]
+		if !bok || !cok || bv <= 0 {
+			return
+		}
+		drift := (cv - bv) / bv * 100
+		if drift > limit {
+			violations = append(violations,
+				fmt.Sprintf("%s: %s regressed %.1f%% (%.6g -> %.6g, limit +%.0f%%)",
+					name, unit, drift, bv, cv, limit))
+		}
+	}
+	for _, cur := range current.Benchmarks {
+		b, ok := base[cur.Name]
+		if !ok {
+			continue
+		}
+		check(cur.Name, "ns/op", b, cur, limits.NSDrift)
+		check(cur.Name, "allocs/op", b, cur, limits.AllocsDrift)
+	}
+	sort.Strings(violations)
+	return violations
+}
+
+// runGate loads both documents, applies the gate, and reports: each
+// violation on stderr and a non-nil error when any benchmark regressed.
+func runGate(baselinePath, currentPath string, limits gateLimits) error {
+	var baseline, current Document
+	if err := loadDoc(baselinePath, &baseline); err != nil {
+		return err
+	}
+	if err := loadDoc(currentPath, &current); err != nil {
+		return err
+	}
+	violations := gate(baseline, current, limits)
+	for _, v := range violations {
+		fmt.Fprintln(os.Stderr, "benchjson: REGRESSION", v)
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed past the gate", len(violations))
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: gate clean (%d benchmarks compared against %s)\n",
+		len(current.Benchmarks), baselinePath)
+	return nil
+}
+
+func loadDoc(path string, doc *Document) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, doc); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func doc(entries ...Entry) Document { return Document{Benchmarks: entries} }
+
+func entry(name string, ns, allocs float64) Entry {
+	return Entry{Name: name, Metrics: map[string]float64{"ns/op": ns, "allocs/op": allocs}}
+}
+
+var limits = gateLimits{NSDrift: 15, AllocsDrift: 10}
+
+func TestGateCleanWithinLimits(t *testing.T) {
+	base := doc(entry("BenchmarkA", 1000, 100))
+	// +14% ns, +9% allocs: inside both limits.
+	if v := gate(base, doc(entry("BenchmarkA", 1140, 109)), limits); len(v) != 0 {
+		t.Fatalf("drift inside limits flagged: %v", v)
+	}
+}
+
+func TestGateFlagsNSRegression(t *testing.T) {
+	base := doc(entry("BenchmarkA", 1000, 100))
+	v := gate(base, doc(entry("BenchmarkA", 1200, 100)), limits)
+	if len(v) != 1 || !strings.Contains(v[0], "ns/op") || !strings.Contains(v[0], "20.0%") {
+		t.Fatalf("20%% ns/op regression not flagged: %v", v)
+	}
+}
+
+func TestGateFlagsAllocsRegression(t *testing.T) {
+	base := doc(entry("BenchmarkA", 1000, 100))
+	v := gate(base, doc(entry("BenchmarkA", 1000, 112)), limits)
+	if len(v) != 1 || !strings.Contains(v[0], "allocs/op") {
+		t.Fatalf("12%% allocs/op regression not flagged: %v", v)
+	}
+}
+
+func TestGateIgnoresImprovement(t *testing.T) {
+	// 50% faster, half the allocations: improvements never gate.
+	base := doc(entry("BenchmarkA", 1000, 100))
+	if v := gate(base, doc(entry("BenchmarkA", 500, 50)), limits); len(v) != 0 {
+		t.Fatalf("improvement flagged: %v", v)
+	}
+}
+
+func TestGateSkipsUnmatchedBenchmarks(t *testing.T) {
+	// New benchmarks and retired baselines are not regressions.
+	base := doc(entry("BenchmarkOld", 1000, 100))
+	if v := gate(base, doc(entry("BenchmarkNew", 99999, 99999)), limits); len(v) != 0 {
+		t.Fatalf("unmatched benchmark flagged: %v", v)
+	}
+}
+
+func TestGateNegativeLimitDisables(t *testing.T) {
+	base := doc(entry("BenchmarkA", 1000, 100))
+	cur := doc(entry("BenchmarkA", 9000, 100))
+	if v := gate(base, cur, gateLimits{NSDrift: -1, AllocsDrift: 10}); len(v) != 0 {
+		t.Fatalf("disabled ns gate still flagged: %v", v)
+	}
+}
+
+func TestGateSortsViolations(t *testing.T) {
+	base := doc(entry("BenchmarkB", 1000, 100), entry("BenchmarkA", 1000, 100))
+	v := gate(base, doc(entry("BenchmarkB", 2000, 100), entry("BenchmarkA", 2000, 100)), limits)
+	if len(v) != 2 || !strings.HasPrefix(v[0], "BenchmarkA") {
+		t.Fatalf("violations not sorted: %v", v)
+	}
+}
+
+func TestGateZeroBaselineSkipped(t *testing.T) {
+	// A zero baseline metric cannot define a percentage; skip, don't
+	// divide by zero.
+	base := doc(entry("BenchmarkA", 0, 0))
+	if v := gate(base, doc(entry("BenchmarkA", 1000, 100)), limits); len(v) != 0 {
+		t.Fatalf("zero baseline flagged: %v", v)
+	}
+}

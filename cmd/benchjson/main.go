@@ -6,6 +6,14 @@
 // Usage:
 //
 //	go test -run=- -bench . -benchmem ./... | benchjson -o BENCH.json
+//	benchjson -baseline BENCH_emulation.json -diff BENCH_emulation.ci.json
+//
+// The second form is the regression gate: it compares a fresh document
+// against the committed baseline and exits non-zero when any benchmark's
+// ns/op drifts more than -max-ns-drift percent (default 15) or its
+// allocs/op more than -max-allocs-drift percent (default 10). Only
+// regressions gate; improvements and benchmarks present on one side only
+// pass silently.
 //
 // Every benchmark line ("BenchmarkFoo-2  30  123 ns/op  4 B/op ...")
 // becomes one entry carrying the benchmark name, GOMAXPROCS suffix,
@@ -50,7 +58,24 @@ type Document struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	baseline := flag.String("baseline", "", "gate mode: committed benchmark JSON to compare -diff against")
+	diff := flag.String("diff", "", "gate mode: current benchmark JSON (requires -baseline)")
+	maxNS := flag.Float64("max-ns-drift", 15, "gate mode: max ns/op regression percent (negative disables)")
+	maxAllocs := flag.Float64("max-allocs-drift", 10, "gate mode: max allocs/op regression percent (negative disables)")
 	flag.Parse()
+
+	// Gate mode: compare two previously written documents instead of
+	// converting stdin; CI fails the workflow when the current run
+	// regressed past the committed baseline.
+	if *baseline != "" || *diff != "" {
+		if *baseline == "" || *diff == "" {
+			fatal(fmt.Errorf("gate mode needs both -baseline and -diff"))
+		}
+		if err := runGate(*baseline, *diff, gateLimits{NSDrift: *maxNS, AllocsDrift: *maxAllocs}); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	doc := Document{GoVersion: runtime.Version(), Benchmarks: []Entry{}}
 	var pkg, cpu string

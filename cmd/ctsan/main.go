@@ -188,6 +188,7 @@ func cmdRun(ctx context.Context, args []string, stderr io.Writer) error {
 	retries := fs.Int("retries", 2, "re-runs of a failed or incomplete shard")
 	backoff := fs.Duration("backoff", 250*time.Millisecond, "first retry delay, doubling per retry")
 	crashAfter := fs.Int("crash-after", 0, "fault injection: shards panic after N points on their first attempt")
+	debugAddr := cliflags.DebugAddr(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -198,6 +199,13 @@ func cmdRun(ctx context.Context, args []string, stderr io.Writer) error {
 	if *dir == "" || *out == "" {
 		return fmt.Errorf("-dir and -o are required")
 	}
+	stopDebug, err := cliflags.StartDebug(*debugAddr, func(format string, args ...any) {
+		fmt.Fprintf(stderr, "ctsan run: "+format+"\n", args...)
+	})
+	if err != nil {
+		return err
+	}
+	defer stopDebug()
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		return err
 	}

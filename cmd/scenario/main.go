@@ -29,6 +29,7 @@ import (
 	"ctsan/campaign"
 	"ctsan/internal/cliflags"
 	"ctsan/internal/scenario"
+	"ctsan/internal/trace"
 )
 
 func main() {
@@ -50,6 +51,15 @@ func main() {
 			}
 			fail(err)
 		}
+	case "trace":
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		if err := traceCmd(ctx, os.Args[2:], os.Stdout); err != nil {
+			if errors.Is(err, errUsage) {
+				os.Exit(2)
+			}
+			fail(err)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "scenario: unknown command %q\n", os.Args[1])
 		usage()
@@ -63,13 +73,21 @@ func usage() {
   scenario describe <name>...       show docs and timeline of scenarios
   scenario run [flags] <name>...    run a scenario campaign
   scenario run [flags] -spec f.json run a JSON-defined scenario
+  scenario trace [flags] <name>     run one scenario with execution tracing
 run flags:
   -replicas K  independent replicas per scenario (default 1)
   -execs K     consensus executions per replica (default: per scenario)
   -workers W   worker goroutines, 0 = one per CPU (results identical at any W)
   -seed S      campaign root seed (default 1)
   -json        emit reports as JSON instead of a table
-`)
+  -debug-addr  serve /debug/vars and /debug/pprof while the campaign runs
+trace flags (plus -replicas/-execs/-workers/-seed/-spec as above):
+  -o F         write the trace as JSONL to F (default stdout)
+  -chrome F    also write a Chrome trace_event file loadable in Perfetto
+  -explain     print causal event windows around wrong suspicions instead
+  -window MS   explain window before each wrong suspicion (default 50)
+  -cap N       per-replica trace ring capacity (default %d events)
+`, trace.DefaultCap)
 }
 
 func list() {
@@ -158,12 +176,13 @@ var errUsage = errors.New("usage error")
 func runCmd(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	var (
-		replicas = fs.Int("replicas", 1, "independent replicas per scenario")
-		execs    = fs.Int("execs", 0, "consensus executions per replica (0 = per-scenario default)")
-		workers  = cliflags.Workers(fs)
-		seed     = cliflags.Seed(fs)
-		asJSON   = cliflags.JSON(fs)
-		specFile = fs.String("spec", "", "path to a JSON scenario definition to run")
+		replicas  = fs.Int("replicas", 1, "independent replicas per scenario")
+		execs     = fs.Int("execs", 0, "consensus executions per replica (0 = per-scenario default)")
+		workers   = cliflags.Workers(fs)
+		seed      = cliflags.Seed(fs)
+		asJSON    = cliflags.JSON(fs)
+		specFile  = fs.String("spec", "", "path to a JSON scenario definition to run")
+		debugAddr = cliflags.DebugAddr(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -176,6 +195,13 @@ func runCmd(ctx context.Context, args []string, out io.Writer) error {
 	if err := cliflags.CheckSeed(*seed); err != nil {
 		return err
 	}
+	stopDebug, err := cliflags.StartDebug(*debugAddr, func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "scenario: "+format+"\n", args...)
+	})
+	if err != nil {
+		return err
+	}
+	defer stopDebug()
 	study := campaign.NewStudy("scenario-run")
 	if *specFile != "" {
 		data, err := os.ReadFile(*specFile)

@@ -74,6 +74,22 @@
 // (the versioned metrics.Digest binary/JSON encodings, study specs,
 // shard records, and checkpoint framing).
 //
+// Every engine layer is traceable: an optional internal/trace tracer
+// captures typed, sim-timed records — kernel scheduling, message
+// send/deliver/drop with cause, timer lifecycle, fault and workload
+// injections, heartbeat and suspicion transitions, consensus rounds —
+// into a bounded per-replica ring at zero steady-state allocation, and
+// a nil tracer costs one branch per emit site. The trace is itself
+// deterministic output: bit-identical at any worker count for a fixed
+// seed (determinism rule 6 in PERFORMANCE.md). cmd/scenario trace dumps
+// it as JSONL or a Chrome trace_event file loadable in Perfetto, and
+// -explain prints the causal event window behind each ground-truthed
+// wrong suspicion. Campaign-level telemetry (internal/obs) — execution
+// and point counters, shard retry/backoff, checkpoint appends, worker
+// utilization — is exported via expvar and net/http/pprof when a CLI
+// passes -debug-addr, and cmd/benchjson gates BENCH_emulation.json
+// drift in CI.
+//
 // See README.md for the layout, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for the reproduced tables and figures. The benchmarks in
 // bench_test.go regenerate every evaluation artifact of the paper.

@@ -31,6 +31,7 @@ import (
 	"os"
 
 	"ctsan/internal/atomicio"
+	"ctsan/internal/obs"
 )
 
 // Store is an append-only JSONL record file. It is not safe for
@@ -134,5 +135,6 @@ func (s *Store) Append(record []byte) error {
 	}
 	s.content = next
 	s.records = append(s.records, next[len(next)-1-len(record):len(next)-1])
+	obs.CheckpointAppends.Add(1)
 	return nil
 }

@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+
+	"ctsan/internal/obs"
 )
 
 // Flag names and help text shared by all binaries. Exported so tests can
@@ -29,6 +31,9 @@ const (
 
 	JSONName  = "json"
 	JSONUsage = "emit results as JSON instead of text"
+
+	DebugAddrName  = "debug-addr"
+	DebugAddrUsage = "serve /debug/vars and /debug/pprof on this address (e.g. localhost:6060); empty disables"
 )
 
 // Seed registers the shared -seed flag (default 1).
@@ -46,6 +51,30 @@ func Workers(fs *flag.FlagSet) *int {
 // JSON registers the shared -json flag (default false).
 func JSON(fs *flag.FlagSet) *bool {
 	return fs.Bool(JSONName, false, JSONUsage)
+}
+
+// DebugAddr registers the shared -debug-addr flag (default "", meaning
+// no debug server). When set, commands start obs.Serve on the address
+// for the duration of the run.
+func DebugAddr(fs *flag.FlagSet) *string {
+	return fs.String(DebugAddrName, "", DebugAddrUsage)
+}
+
+// StartDebug starts the obs debug server when addr is non-empty and
+// returns a shutdown func (a no-op when addr is empty). The bound
+// address — useful with ":0" — is logged through logf.
+func StartDebug(addr string, logf func(format string, args ...any)) (func() error, error) {
+	if addr == "" {
+		return func() error { return nil }, nil
+	}
+	bound, shutdown, err := obs.Serve(addr)
+	if err != nil {
+		return nil, fmt.Errorf("-%s: %w", DebugAddrName, err)
+	}
+	if logf != nil {
+		logf("debug server listening on http://%s/debug/vars", bound)
+	}
+	return shutdown, nil
 }
 
 // CheckSeed rejects the reserved seed 0. Campaign points treat a zero

@@ -30,6 +30,7 @@ import (
 	"fmt"
 
 	"ctsan/internal/neko"
+	"ctsan/internal/trace"
 )
 
 // Message types used by the protocol.
@@ -107,7 +108,14 @@ type Engine struct {
 	// allocation site (see PERFORMANCE.md).
 	instFree []*Instance
 	bufFree  [][]neko.Message
+	// tr, if set, records protocol-level events (propose, round change,
+	// estimate, proposal, ack, decide) into the replica's trace ring.
+	// Reset detaches it; a traced campaign re-attaches after every reset.
+	tr *trace.Tracer
 }
+
+// SetTracer attaches (nil detaches) a structured execution tracer.
+func (e *Engine) SetTracer(tr *trace.Tracer) { e.tr = tr }
 
 // NewEngine creates a consensus engine on the stack, querying the given
 // failure detector. It registers handlers for all ct.* message types and
@@ -168,6 +176,9 @@ func (e *Engine) Propose(cid uint64, val int64, onDecide func(Decision), onAbort
 	in.onAbort = onAbort
 	gen := in.gen
 	e.active[cid] = in
+	if e.tr != nil {
+		e.tr.Emit(trace.Event{T: e.ctx.Now(), P: int32(e.ctx.ID()), Kind: trace.KindPropose, A: int64(cid), B: val})
+	}
 	in.startRound(1)
 	// Replay messages that arrived before the local start. A callback
 	// fired from startRound or from a replayed message may Forget this
@@ -224,6 +235,7 @@ func (e *Engine) Reset() {
 		delete(e.pending, cid)
 		e.recycleBuf(buf)
 	}
+	e.tr = nil
 }
 
 // route dispatches a ct.* message to its instance, or buffers it if the
@@ -366,12 +378,18 @@ func (in *Instance) startRound(r int) {
 	in.round = r
 	in.waitingProposal = false
 	c := in.e.Coordinator(r)
+	if tr := in.e.tr; tr != nil {
+		tr.Emit(trace.Event{T: in.e.ctx.Now(), P: int32(in.e.ctx.ID()), Q: int32(c), Kind: trace.KindRound, A: int64(in.cid), B: int64(r)})
+	}
 	if c == in.e.ctx.ID() {
 		// Coordinator: its own estimate counts toward the majority.
 		in.addEstimate(Estimate{Cid: in.cid, Round: r, Val: in.est, TS: in.ts})
 		return
 	}
 	// Participant, phase 1: send the estimate to the coordinator.
+	if tr := in.e.tr; tr != nil {
+		tr.Emit(trace.Event{T: in.e.ctx.Now(), P: int32(in.e.ctx.ID()), Q: int32(c), Kind: trace.KindEstimate, A: int64(in.cid), B: int64(r)})
+	}
 	in.e.ctx.Send(neko.Message{
 		To:      c,
 		Type:    MsgEstimate,
@@ -458,6 +476,9 @@ func (in *Instance) maybePropose(r int) {
 	delete(in.estBuf, r)
 	// The coordinator's own reply is an implicit positive acknowledgment.
 	in.tally(r).oks++
+	if tr := in.e.tr; tr != nil {
+		tr.Emit(trace.Event{T: in.e.ctx.Now(), P: int32(in.e.ctx.ID()), Kind: trace.KindProposal, A: int64(in.cid), B: int64(r), X: float64(best.Val)})
+	}
 	neko.Broadcast(in.e.ctx, neko.Message{
 		Type:    MsgPropose,
 		Payload: Propose{Cid: in.cid, Round: r, Val: best.Val},
@@ -488,6 +509,9 @@ func (in *Instance) acceptProposal(r int, val int64, c neko.ProcessID) {
 	in.waitingProposal = false
 	in.est = val
 	in.ts = r
+	if tr := in.e.tr; tr != nil {
+		tr.Emit(trace.Event{T: in.e.ctx.Now(), P: int32(in.e.ctx.ID()), Q: int32(c), Kind: trace.KindAck, A: int64(in.cid), B: int64(r), X: 1})
+	}
 	in.e.ctx.Send(neko.Message{
 		To:      c,
 		Type:    MsgAck,
@@ -502,6 +526,9 @@ func (in *Instance) acceptProposal(r int, val int64, c neko.ProcessID) {
 // message costs real resources (Table 1 depends on this).
 func (in *Instance) rejectCoordinator(r int, c neko.ProcessID) {
 	in.waitingProposal = false
+	if tr := in.e.tr; tr != nil {
+		tr.Emit(trace.Event{T: in.e.ctx.Now(), P: int32(in.e.ctx.ID()), Q: int32(c), Kind: trace.KindAck, A: int64(in.cid), B: int64(r), X: 0})
+	}
 	in.e.ctx.Send(neko.Message{
 		To:      c,
 		Type:    MsgAck,
@@ -591,6 +618,9 @@ func (in *Instance) deliverDecision(val int64, round int, relayed bool) {
 		round = in.round
 	}
 	in.decision = Decision{Cid: in.cid, Val: val, At: in.e.ctx.Now(), Round: round}
+	if tr := in.e.tr; tr != nil {
+		tr.Emit(trace.Event{T: in.e.ctx.Now(), P: int32(in.e.ctx.ID()), Kind: trace.KindDecide, A: int64(in.cid), B: int64(round), X: float64(val)})
+	}
 	if relayed && in.e.opts.RelayDecide {
 		neko.Broadcast(in.e.ctx, neko.Message{
 			Type:    MsgDecide,

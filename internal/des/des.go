@@ -14,7 +14,11 @@
 // cancelled event stays invalid even after its record is recycled.
 package des
 
-import "container/heap"
+import (
+	"container/heap"
+
+	"ctsan/internal/trace"
+)
 
 // event is a scheduled callback record. Records are recycled through the
 // owning Sim's free list; gen disambiguates incarnations.
@@ -79,7 +83,13 @@ type Sim struct {
 	queue  eventHeap
 	free   []*event // recycled event records
 	nsteps uint64
+	tr     *trace.Tracer
 }
+
+// SetTracer attaches (or with nil detaches) an execution tracer. Every
+// schedule and fire emits one record; a nil tracer costs a single branch
+// per site.
+func (s *Sim) SetTracer(tr *trace.Tracer) { s.tr = tr }
 
 // Now returns the current virtual time in milliseconds.
 func (s *Sim) Now() float64 { return s.now }
@@ -117,6 +127,9 @@ func (s *Sim) At(t float64, fn func()) Handle {
 	ev.time, ev.seq, ev.fn = t, s.seq, fn
 	s.seq++
 	heap.Push(&s.queue, ev)
+	if s.tr != nil {
+		s.tr.Emit(trace.Event{T: s.now, Kind: trace.KindSchedule, X: t})
+	}
 	return Handle{ev: ev, gen: ev.gen}
 }
 
@@ -157,6 +170,9 @@ func (s *Sim) Step() bool {
 	ev := heap.Pop(&s.queue).(*event)
 	s.now = ev.time
 	s.nsteps++
+	if s.tr != nil {
+		s.tr.Emit(trace.Event{T: s.now, Kind: trace.KindFire})
+	}
 	fn := ev.fn
 	// Release before running so fn can immediately reuse the record; the
 	// handle to this event is already stale either way.
@@ -193,13 +209,16 @@ func (s *Sim) RunUntil(tmax float64) {
 }
 
 // Reset returns the simulator to its initial state — time zero, empty
-// queue, zero counters — retaining the event pool and queue capacity so a
-// reused Sim schedules without allocating. Outstanding handles to pending
-// events are invalidated.
+// queue, zero counters, no tracer — retaining the event pool and queue
+// capacity so a reused Sim schedules without allocating. Outstanding
+// handles to pending events are invalidated. Detaching the tracer here
+// keeps reset-then-run bit-identical to construct-then-run; callers that
+// trace successive runs re-attach after Reset.
 func (s *Sim) Reset() {
 	for _, ev := range s.queue {
 		s.release(ev)
 	}
 	s.queue = s.queue[:0]
 	s.now, s.seq, s.nsteps = 0, 0, 0
+	s.tr = nil
 }

@@ -27,6 +27,7 @@ import (
 	"ctsan/internal/metrics"
 	"ctsan/internal/neko"
 	"ctsan/internal/netsim"
+	"ctsan/internal/obs"
 	"ctsan/internal/rng"
 	"ctsan/internal/stats"
 )
@@ -432,6 +433,7 @@ func (c *campaign) closeExec(k int) {
 		return
 	}
 	c.closed = true
+	obs.Executions.Add(1)
 	if c.decided {
 		lat := c.firstAt - c.execT0
 		c.rec.Add(lat)

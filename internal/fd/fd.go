@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"ctsan/internal/neko"
+	"ctsan/internal/trace"
 )
 
 // MsgHeartbeat is the message type of heartbeats on the wire.
@@ -56,7 +57,14 @@ type Heartbeat struct {
 	// each re-arm, never while pending — cancelling a pending emission
 	// would change the executed-event count.
 	emitTimer neko.TimerHandle
+	// tr, if set, records heartbeat emissions/receptions and suspicion
+	// transitions into the replica's trace ring. Reset detaches it, like
+	// Cluster.Reset; a traced campaign re-attaches after every reset.
+	tr *trace.Tracer
 }
+
+// SetTracer attaches (nil detaches) a structured execution tracer.
+func (hb *Heartbeat) SetTracer(tr *trace.Tracer) { hb.tr = tr }
 
 var (
 	_ neko.Protocol        = (*Heartbeat)(nil)
@@ -105,6 +113,7 @@ func (hb *Heartbeat) Reset(history *History) {
 	hb.stopped = false
 	hb.history = history
 	hb.emitTimer = nil
+	hb.tr = nil
 	for q := range hb.timers {
 		hb.timers[q] = nil
 		hb.suspected[q] = false
@@ -162,6 +171,9 @@ func (hb *Heartbeat) emit() {
 		return
 	}
 	hb.seq++
+	if hb.tr != nil {
+		hb.tr.Emit(trace.Event{T: hb.ctx.Now(), P: int32(hb.ctx.ID()), Kind: trace.KindHBEmit, A: int64(hb.seq)})
+	}
 	neko.Broadcast(hb.ctx, neko.Message{
 		Type:    MsgHeartbeat,
 		Payload: HeartbeatPayload{Seq: hb.seq},
@@ -179,6 +191,13 @@ func (hb *Heartbeat) observe(m neko.Message) {
 		return
 	}
 	hb.lastMsg[m.From] = hb.ctx.Now()
+	if hb.tr != nil && m.Type == MsgHeartbeat {
+		seq := int64(0)
+		if p, ok := m.Payload.(HeartbeatPayload); ok {
+			seq = int64(p.Seq)
+		}
+		hb.tr.Emit(trace.Event{T: hb.ctx.Now(), P: int32(hb.ctx.ID()), Q: int32(m.From), Kind: trace.KindHBRecv, A: seq})
+	}
 	if hb.suspected[m.From] {
 		hb.suspected[m.From] = false
 		hb.transition(m.From, false)
@@ -216,6 +235,15 @@ func (hb *Heartbeat) expire(q neko.ProcessID) {
 
 // transition records a suspicion change and notifies watchers.
 func (hb *Heartbeat) transition(q neko.ProcessID, suspected bool) {
+	if hb.tr != nil {
+		if suspected {
+			// X carries the last-message time so the explain mode can print
+			// how long q had been silent when the suspicion was raised.
+			hb.tr.Emit(trace.Event{T: hb.ctx.Now(), P: int32(hb.ctx.ID()), Q: int32(q), Kind: trace.KindSuspect, X: hb.lastMsg[q]})
+		} else {
+			hb.tr.Emit(trace.Event{T: hb.ctx.Now(), P: int32(hb.ctx.ID()), Q: int32(q), Kind: trace.KindTrust})
+		}
+	}
 	if hb.history != nil {
 		hb.history.Record(hb.ctx.ID(), q, suspected, hb.ctx.Now())
 	}

@@ -5,6 +5,7 @@ import (
 
 	"ctsan/internal/dist"
 	"ctsan/internal/neko"
+	"ctsan/internal/trace"
 )
 
 // This file is the cluster's fault- and workload-injection surface: timed
@@ -43,6 +44,9 @@ func (c *Cluster) RecoverAt(id neko.ProcessID, t float64) {
 			return
 		}
 		h.down = false
+		if c.tracer != nil {
+			c.tracer.Emit(trace.Event{T: c.sim.Now(), P: int32(h.id), Kind: trace.KindRecover})
+		}
 		if h.stack != nil {
 			h.stack.Start()
 		}
@@ -72,7 +76,12 @@ func (c *Cluster) PartitionAt(t float64, groups ...[]neko.ProcessID) error {
 			assign[id] = gi + 1
 		}
 	}
-	c.at(t, func() { c.group = assign })
+	c.at(t, func() {
+		c.group = assign
+		if c.tracer != nil {
+			c.tracer.Emit(trace.Event{T: c.sim.Now(), Kind: trace.KindPartition, A: int64(len(groups))})
+		}
+	})
 	return nil
 }
 
@@ -82,7 +91,12 @@ func (c *Cluster) PartitionAt(t float64, groups ...[]neko.ProcessID) error {
 // across a partition at this abstraction level; protocol-level recovery
 // (heartbeats, retried rounds) is what the scenarios observe.
 func (c *Cluster) HealAt(t float64) {
-	c.at(t, func() { c.group = nil })
+	c.at(t, func() {
+		c.group = nil
+		if c.tracer != nil {
+			c.tracer.Emit(trace.Event{T: c.sim.Now(), Kind: trace.KindHeal})
+		}
+	})
 }
 
 // partitioned reports whether the current partition separates from → to.
@@ -107,6 +121,9 @@ func (c *Cluster) SetLinkAt(t float64, from, to neko.ProcessID, extra dist.Dist,
 			c.links = make(map[linkKey]linkRule)
 		}
 		c.links[linkKey{from, to}] = linkRule{Loss: loss, ExtraDelay: extra}
+		if c.tracer != nil {
+			c.tracer.Emit(trace.Event{T: c.sim.Now(), P: int32(from), Q: int32(to), Kind: trace.KindLinkSet, X: loss})
+		}
 	})
 	return nil
 }
@@ -114,7 +131,12 @@ func (c *Cluster) SetLinkAt(t float64, from, to neko.ProcessID, extra dist.Dist,
 // ClearLinkAt schedules the removal of the degradation rule on the
 // directed link from → to at global time t.
 func (c *Cluster) ClearLinkAt(t float64, from, to neko.ProcessID) {
-	c.at(t, func() { delete(c.links, linkKey{from, to}) })
+	c.at(t, func() {
+		delete(c.links, linkKey{from, to})
+		if c.tracer != nil {
+			c.tracer.Emit(trace.Event{T: c.sim.Now(), P: int32(from), Q: int32(to), Kind: trace.KindLinkClear})
+		}
+	})
 }
 
 // pauseCall is a pooled PauseAt event: scenario pause storms schedule
@@ -128,6 +150,9 @@ type pauseCall struct {
 func (c *Cluster) makePauseCall() *pauseCall {
 	p := &pauseCall{}
 	p.runFn = func() {
+		if c.tracer != nil {
+			c.tracer.Emit(trace.Event{T: c.sim.Now(), P: int32(p.h.id), Kind: trace.KindPause, X: p.dur})
+		}
 		p.h.reserveCPU(p.dur, nil)
 		c.pauses.put(p)
 	}
@@ -151,6 +176,9 @@ func (c *Cluster) PauseAt(id neko.ProcessID, t, dur float64) {
 // on them).
 func (c *Cluster) PhaseAt(t float64, name string) {
 	c.at(t, func() {
+		if c.tracer != nil {
+			c.tracer.Emit(trace.Event{T: c.sim.Now(), Kind: trace.KindPhase, S: name})
+		}
 		for _, fn := range c.phaseFns {
 			fn(name, c.sim.Now())
 		}

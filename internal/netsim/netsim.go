@@ -35,6 +35,7 @@ import (
 	"ctsan/internal/dist"
 	"ctsan/internal/neko"
 	"ctsan/internal/rng"
+	"ctsan/internal/trace"
 )
 
 // Params configures the emulated cluster. Zero-value fields take the
@@ -163,6 +164,10 @@ type Cluster struct {
 	hubFree float64
 	// traceFn, if set, observes every message delivery (for tests).
 	traceFn func(m neko.Message, at float64)
+	// tracer, if set, records structured execution events (message
+	// send/deliver/drop, timer arm/stop/fire, fault injections) into the
+	// replica's trace ring. Nil costs one branch per site.
+	tracer *trace.Tracer
 	// group[i] is process i's partition group; nil when unpartitioned.
 	// Frames between different groups are dropped at the hub boundary.
 	group []int
@@ -298,6 +303,7 @@ func (c *Cluster) Reset(r *rng.Stream) {
 	c.delivered = 0
 	c.hubFree = 0
 	c.traceFn = nil
+	c.tracer = nil
 	c.group = nil
 	clear(c.links)
 	c.phaseFns = c.phaseFns[:0]
@@ -411,6 +417,15 @@ func (c *Cluster) Attach(id neko.ProcessID, s *neko.Stack) {
 // Trace registers an observer for every message delivery (test hook).
 func (c *Cluster) Trace(fn func(m neko.Message, at float64)) { c.traceFn = fn }
 
+// SetTracer attaches a structured execution tracer to the cluster and its
+// DES kernel (nil detaches both). Cluster.Reset detaches it again, so a
+// traced campaign re-attaches after every reset, before compiling
+// injections, keeping the schedule-event prefix in the trace.
+func (c *Cluster) SetTracer(tr *trace.Tracer) {
+	c.tracer = tr
+	c.sim.SetTracer(tr)
+}
+
 // Now returns the global simulated time in milliseconds.
 func (c *Cluster) Now() float64 { return c.sim.Now() }
 
@@ -481,6 +496,9 @@ func (c *Cluster) CrashAt(id neko.ProcessID, t float64) {
 		if !h.down {
 			h.down = true
 			h.epoch++
+			if c.tracer != nil {
+				c.tracer.Emit(trace.Event{T: c.sim.Now(), P: int32(h.id), Kind: trace.KindCrash})
+			}
 		}
 	})
 }
@@ -583,9 +601,9 @@ func (h *host) Now() float64 { return h.c.sim.Now() + h.clockOff }
 // decomposition of Fig. 3 in the paper. Its stage closures are allocated
 // once per record, so steady-state delivery allocates nothing.
 type transit struct {
-	c        *Cluster
-	src, dst *host
-	m        neko.Message
+	c                                *Cluster
+	src, dst                         *host
+	m                                neko.Message
 	sendFn, hubFn, deliverFn, recvFn func()
 }
 
@@ -615,9 +633,15 @@ func (h *host) Send(m neko.Message) {
 	}
 	m.From = h.id
 	c := h.c
+	if c.tracer != nil {
+		c.tracer.Emit(trace.Event{T: c.sim.Now(), P: int32(m.From), Q: int32(m.To), Kind: trace.KindSend, S: m.Type})
+	}
 	// A send to an already-crashed peer fails fast (TCP reset): it costs
 	// the sender the exception path and never reaches the medium.
 	if !c.params.CrashedConsumeWire && c.hostFor(m.To).down {
+		if c.tracer != nil {
+			c.tracer.Emit(trace.Event{T: c.sim.Now(), P: int32(m.From), Q: int32(m.To), Kind: trace.KindDrop, B: trace.DropFailedSend, S: m.Type})
+		}
 		h.reserveCPU(c.params.FailedSend.Sample(h.netRand), nil)
 		return
 	}
@@ -645,12 +669,18 @@ func (t *transit) send() {
 func (t *transit) hub() {
 	c := t.c
 	if c.partitioned(t.m.From, t.m.To) {
+		if c.tracer != nil {
+			c.tracer.Emit(trace.Event{T: c.sim.Now(), P: int32(t.m.From), Q: int32(t.m.To), Kind: trace.KindDrop, B: trace.DropPartition, S: t.m.Type})
+		}
 		c.releaseTransit(t)
 		return
 	}
 	extra := 0.0
 	if rule, ok := c.links[linkKey{t.m.From, t.m.To}]; ok {
 		if rule.Loss > 0 && c.linkRand.Float64() < rule.Loss {
+			if c.tracer != nil {
+				c.tracer.Emit(trace.Event{T: c.sim.Now(), P: int32(t.m.From), Q: int32(t.m.To), Kind: trace.KindDrop, B: trace.DropLinkLoss, S: t.m.Type})
+			}
 			c.releaseTransit(t)
 			return
 		}
@@ -681,11 +711,17 @@ func (t *transit) recv() {
 	c, dst, m := t.c, t.dst, t.m
 	c.releaseTransit(t)
 	if dst.down || dst.stack == nil {
+		if c.tracer != nil {
+			c.tracer.Emit(trace.Event{T: c.sim.Now(), P: int32(m.To), Q: int32(m.From), Kind: trace.KindDrop, B: trace.DropDown, S: m.Type})
+		}
 		return
 	}
 	c.delivered++
 	if c.traceFn != nil {
 		c.traceFn(m, c.sim.Now())
+	}
+	if c.tracer != nil {
+		c.tracer.Emit(trace.Event{T: c.sim.Now(), P: int32(m.To), Q: int32(m.From), Kind: trace.KindDeliver, S: m.Type})
 	}
 	dst.stack.Dispatch(m)
 }
@@ -726,6 +762,9 @@ func (t *simTimer) Stop() {
 		return
 	}
 	t.stopped = true
+	if c := t.h.c; c.tracer != nil {
+		c.tracer.Emit(trace.Event{T: c.sim.Now(), P: int32(t.h.id), Kind: trace.KindTimerStop})
+	}
 	t.h.c.sim.Cancel(t.handle)
 	t.h.c.releaseTimer(t)
 }
@@ -766,6 +805,9 @@ func (fc *fireCall) run() {
 	if t.gen != gen || t.stopped || h.down || t.epoch != h.epoch {
 		return
 	}
+	if c := h.c; c.tracer != nil {
+		c.tracer.Emit(trace.Event{T: c.sim.Now(), P: int32(h.id), Kind: trace.KindTimerFire})
+	}
 	t.fn()
 }
 
@@ -778,6 +820,9 @@ func (h *host) SetTimer(d float64, fn func()) neko.TimerHandle {
 		d = 0
 	}
 	ideal := h.c.sim.Now() + d
+	if c := h.c; c.tracer != nil {
+		c.tracer.Emit(trace.Event{T: c.sim.Now(), P: int32(h.id), Kind: trace.KindTimerArm, X: ideal})
+	}
 	t := h.c.timers.get()
 	t.h = h
 	t.epoch = h.epoch

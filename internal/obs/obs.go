@@ -1,0 +1,111 @@
+// Package obs is the runtime telemetry of long campaigns: process-wide
+// counters and gauges for work completed (executions, campaign points,
+// shard attempts/retries, checkpoint appends) and worker-pool activity,
+// published through the standard expvar registry, plus an optional HTTP
+// listener exposing /debug/vars and the net/http/pprof profiling
+// endpoints (the -debug-addr flag of cmd/ctsan and cmd/scenario).
+//
+// The counters are plain atomics: hot paths pay one atomic add per
+// counted unit and never allocate, so instrumented code is safe to leave
+// enabled unconditionally. Telemetry observes wall-clock time and is
+// explicitly outside the determinism contract — nothing in the
+// simulation may ever read it back.
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// start anchors the rate and utilization gauges.
+var start = time.Now()
+
+// Counters, published as expvar ints (visible in /debug/vars):
+var (
+	// Executions counts completed consensus executions across all
+	// engines (emulation experiments and scenario replicas).
+	Executions = expvar.NewInt("ctsan.executions_completed")
+	// Points counts completed campaign grid points.
+	Points = expvar.NewInt("ctsan.points_completed")
+	// ShardAttempts counts shard subprocess launches (first tries and
+	// retries); ShardRetries only the re-launches after a failure;
+	// ShardBackoffMS the total milliseconds slept in retry backoff.
+	ShardAttempts  = expvar.NewInt("ctsan.shard_attempts")
+	ShardRetries   = expvar.NewInt("ctsan.shard_retries")
+	ShardBackoffMS = expvar.NewInt("ctsan.shard_backoff_ms")
+	// CheckpointAppends counts durable checkpoint records written.
+	CheckpointAppends = expvar.NewInt("ctsan.checkpoint_appends")
+)
+
+// Worker-pool activity, fed by internal/parallel around each work unit.
+var (
+	busyWorkers atomic.Int64
+	busyNS      atomic.Int64
+	unitsDone   atomic.Int64
+)
+
+// UnitStart marks one worker busy and returns the start instant to pass
+// to UnitEnd.
+func UnitStart() int64 {
+	busyWorkers.Add(1)
+	return time.Now().UnixNano()
+}
+
+// UnitEnd marks the worker idle again, crediting its busy time.
+func UnitEnd(startNS int64) {
+	busyWorkers.Add(-1)
+	busyNS.Add(time.Now().UnixNano() - startNS)
+	unitsDone.Add(1)
+}
+
+func init() {
+	expvar.Publish("ctsan.exec_per_sec", expvar.Func(func() any {
+		el := time.Since(start).Seconds()
+		if el <= 0 {
+			return 0.0
+		}
+		return float64(Executions.Value()) / el
+	}))
+	expvar.Publish("ctsan.workers_busy", expvar.Func(func() any {
+		return busyWorkers.Load()
+	}))
+	expvar.Publish("ctsan.work_units_completed", expvar.Func(func() any {
+		return unitsDone.Load()
+	}))
+	// Utilization: cumulative worker-busy time over elapsed wall time ×
+	// CPU count — 1.0 means every CPU ran campaign work the whole time.
+	expvar.Publish("ctsan.worker_utilization", expvar.Func(func() any {
+		el := time.Since(start).Seconds() * float64(runtime.NumCPU())
+		if el <= 0 {
+			return 0.0
+		}
+		return float64(busyNS.Load()) / 1e9 / el
+	}))
+}
+
+// Serve starts the debug listener on addr (host:port; port 0 picks a
+// free one) exposing /debug/vars (expvar) and /debug/pprof/*. It returns
+// the bound address and a shutdown function. The handlers are mounted on
+// a private mux, not http.DefaultServeMux, so importing obs never
+// exposes profiling endpoints on servers the embedding program runs.
+func Serve(addr string) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck // Close shuts it down; errors after that are expected
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -19,6 +19,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"ctsan/internal/obs"
 )
 
 // UnitPanic is the value re-raised when a work unit panics: it carries
@@ -49,9 +51,13 @@ func (p *UnitPanic) Unwrap() error {
 
 // call invokes one work unit, converting a panic into a re-raised
 // *UnitPanic identifying the unit. An already-wrapped panic from a
-// nested pool passes through untouched.
+// nested pool passes through untouched. Each unit is bracketed by the
+// obs worker-activity accounting (two atomic ops and two clock reads per
+// unit — units are milliseconds of simulation, so this is noise).
 func call(fn func(worker, i int) error, worker, i int) error {
+	h := obs.UnitStart()
 	defer func() {
+		obs.UnitEnd(h)
 		if r := recover(); r != nil {
 			if _, wrapped := r.(*UnitPanic); wrapped {
 				panic(r)

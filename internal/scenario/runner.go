@@ -9,8 +9,10 @@ import (
 	"ctsan/internal/metrics"
 	"ctsan/internal/neko"
 	"ctsan/internal/netsim"
+	"ctsan/internal/obs"
 	"ctsan/internal/rng"
 	"ctsan/internal/stats"
+	"ctsan/internal/trace"
 )
 
 // RunConfig tunes one replica of a scenario. The zero value takes the
@@ -27,6 +29,13 @@ type RunConfig struct {
 	// under the heartbeat detector, 500 under the oracle) so that
 	// partitions and crashes cannot hang a campaign.
 	Deadline float64
+	// Tracer, when non-nil, records structured execution events from
+	// every layer (DES kernel, emulator, failure detectors, consensus)
+	// into its ring; Result.Trace then carries the snapshot and
+	// Result.Wrong the ground-truthed wrong suspicions for the explain
+	// mode. The tracer is Reset and re-attached at the start of each run,
+	// so one pooled tracer serves successive replicas without allocating.
+	Tracer *trace.Tracer
 }
 
 // Result is the outcome of one scenario replica. Per-execution samples
@@ -51,6 +60,18 @@ type Result struct {
 	// paper's wrong suspicions (§5.4), here ground-truthed against the
 	// scenario timeline.
 	Suspicions, WrongSuspicions int
+	// Trace and Wrong are populated only for traced runs
+	// (RunConfig.Tracer): the captured event window and the individual
+	// wrong suspicions it explains.
+	Trace *trace.Trace
+	Wrong []WrongSuspicion
+}
+
+// WrongSuspicion identifies one ground-truthed wrong suspicion: observer
+// P suspected Q at local time At while the timeline says Q was up.
+type WrongSuspicion struct {
+	P, Q neko.ProcessID
+	At   float64
 }
 
 // DecisionsPerSec returns the decision throughput of the replica.
@@ -238,6 +259,23 @@ func (r *replica) run(seed uint64) (*Result, error) {
 	r.closed = false
 	r.err = nil
 
+	// Attach the tracer after the resets (which detach) and before the
+	// timeline compiles, so the injection-scheduling prefix is captured.
+	// Tracing consumes no randomness and emits in DES execution order, so
+	// the trace is a pure function of the replica seed (rule 6).
+	if tr := r.cfg.Tracer; tr != nil {
+		tr.Reset()
+		r.cluster.SetTracer(tr)
+		for _, e := range r.engines {
+			if e != nil {
+				e.SetTracer(tr)
+			}
+		}
+		for _, hb := range r.heartbeats {
+			hb.SetTracer(tr)
+		}
+	}
+
 	tl, err := r.s.compile(r.cluster, root.Child(2))
 	if err != nil {
 		return nil, err
@@ -266,8 +304,14 @@ func (r *replica) run(seed uint64) (*Result, error) {
 			r.res.Suspicions++
 			if tl.UpAt(e.Q, e.At) {
 				r.res.WrongSuspicions++
+				if r.cfg.Tracer != nil {
+					r.res.Wrong = append(r.res.Wrong, WrongSuspicion{P: e.P, Q: e.Q, At: e.At})
+				}
 			}
 		}
+	}
+	if r.cfg.Tracer != nil {
+		r.res.Trace = r.cfg.Tracer.Snapshot()
 	}
 	return r.res, nil
 }
@@ -348,6 +392,7 @@ func (r *replica) closeExec(k int) {
 		return
 	}
 	r.closed = true
+	obs.Executions.Add(1)
 	if r.decided {
 		r.res.Digest.Add(r.firstAt - r.execT0)
 		r.res.Rounds.Add(float64(r.round))

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"time"
 
+	"ctsan/internal/obs"
 	"ctsan/internal/parallel"
 )
 
@@ -140,6 +141,8 @@ func supervise(ctx context.Context, r Range, o Options, backoff time.Duration, l
 	for attempt := 0; attempt <= o.Retries; attempt++ {
 		if attempt > 0 {
 			delay := backoff << (attempt - 1)
+			obs.ShardRetries.Add(1)
+			obs.ShardBackoffMS.Add(delay.Milliseconds())
 			logf("shard %s: attempt %d failed (%v), retrying in %v", r, attempt, lastErr, delay)
 			select {
 			case <-ctx.Done():
@@ -147,10 +150,13 @@ func supervise(ctx context.Context, r Range, o Options, backoff time.Duration, l
 			case <-time.After(delay):
 			}
 		}
+		obs.ShardAttempts.Add(1)
+		logf("shard %s: attempt %d/%d starting (%d points)", r, attempt+1, o.Retries+1, r.Len())
 		attemptCtx, cancel := ctx, context.CancelFunc(func() {})
 		if o.Timeout > 0 {
 			attemptCtx, cancel = context.WithTimeout(ctx, o.Timeout)
 		}
+		start := time.Now()
 		execErr := exec(attemptCtx, r, attempt)
 		cancel()
 		// The checkpoint, not the exit status, decides: a shard that died
@@ -161,6 +167,7 @@ func supervise(ctx context.Context, r Range, o Options, backoff time.Duration, l
 			return fmt.Errorf("shard %s: checkpoint: %w", r, err)
 		}
 		if done {
+			logf("shard %s: complete after attempt %d (%.1fs)", r, attempt+1, time.Since(start).Seconds())
 			return nil
 		}
 		if execErr == nil {

@@ -164,8 +164,27 @@ func TestRunSkipsCompleteShards(t *testing.T) {
 	if f.attempts[ranges[1]] != 0 {
 		t.Fatal("complete shard was re-executed")
 	}
-	if len(lines) != 1 || !strings.Contains(lines[0], "skipping") {
-		t.Fatalf("expected one skip log line, got %v", lines)
+	// The supervisor logs structured per-range progress: the complete
+	// shard logs exactly its skip, the others a start and a completion.
+	var skips, starts, completes int
+	for _, l := range lines {
+		switch {
+		case strings.Contains(l, "skipping"):
+			skips++
+			if !strings.Contains(l, ranges[1].String()) {
+				t.Fatalf("skip logged for wrong range: %q", l)
+			}
+		case strings.Contains(l, "starting"):
+			starts++
+			if strings.Contains(l, ranges[1].String()) {
+				t.Fatalf("complete shard logged a start: %q", l)
+			}
+		case strings.Contains(l, "complete after"):
+			completes++
+		}
+	}
+	if skips != 1 || starts != 2 || completes != 2 {
+		t.Fatalf("expected 1 skip / 2 starts / 2 completions, got %v", lines)
 	}
 }
 

@@ -8,11 +8,19 @@
 # BENCHTIME tunes the per-benchmark budget (default 5x iterations; CI
 # uses a smaller smoke value). The human-readable output still streams to
 # stderr, so the script is usable interactively.
+#
+# PROFILE_DIR, when set, additionally captures CPU and heap profiles of
+# the scenario-campaign benchmark (the hot emulation path) into that
+# directory as scenario.cpu.pprof / scenario.mem.pprof; CI uploads them
+# as artifacts so a perf regression ships with the profile that explains
+# it. Profiling is a separate single-package run because -cpuprofile
+# applies per test binary.
 set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-5x}"
 OUT="${OUT:-BENCH_emulation.json}"
+PROFILE_DIR="${PROFILE_DIR:-}"
 
 # Two stages, not a pipeline: POSIX sh has no pipefail, and a pipeline
 # would report benchjson's status even when go test itself fails — CI
@@ -21,7 +29,7 @@ TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
 go test -run=- \
-    -bench 'BenchmarkScenarioCampaign(Serial|Parallel)|BenchmarkCluster(Reset|NewPerReplica)|BenchmarkCampaignMemory|BenchmarkDESSchedule$' \
+    -bench 'BenchmarkScenarioCampaign(Serial|Parallel|Traced)|BenchmarkCluster(Reset|NewPerReplica)|BenchmarkCampaignMemory|BenchmarkDESSchedule$' \
     -benchmem -benchtime "$BENCHTIME" \
     ./internal/scenario/ ./internal/netsim/ ./internal/metrics/ ./internal/des/ \
     >"$TMP"
@@ -29,3 +37,14 @@ cat "$TMP" >&2
 
 go run ./cmd/benchjson -o "$OUT" <"$TMP"
 echo "wrote $OUT" >&2
+
+if [ -n "$PROFILE_DIR" ]; then
+    mkdir -p "$PROFILE_DIR"
+    go test -run=- -bench 'BenchmarkScenarioCampaignSerial' \
+        -benchtime "$BENCHTIME" \
+        -cpuprofile "$PROFILE_DIR/scenario.cpu.pprof" \
+        -memprofile "$PROFILE_DIR/scenario.mem.pprof" \
+        -o "$PROFILE_DIR/scenario.test" \
+        ./internal/scenario/ >&2
+    echo "wrote $PROFILE_DIR/scenario.cpu.pprof and scenario.mem.pprof" >&2
+fi

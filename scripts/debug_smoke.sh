@@ -1,0 +1,60 @@
+#!/usr/bin/env sh
+# Smoke-tests the -debug-addr telemetry endpoint end to end: starts a
+# long-enough scenario campaign with the debug server on an ephemeral
+# port, samples /debug/vars twice around a 1-second CPU profile, and
+# asserts that (a) the pprof endpoint serves a profile and (b) the
+# ctsan.executions_completed counter advanced between the samples — the
+# observable promise of internal/obs, checked against the real binary.
+#
+# The campaign itself is sized to outlive the sampling and then killed:
+# this script gates the telemetry surface, not campaign completion
+# (kill_resume.sh and the test suite cover that).
+set -eu
+cd "$(dirname "$0")/.."
+
+LOG="$(mktemp)"
+PID=""
+cleanup() {
+    [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+    rm -f "$LOG"
+}
+trap cleanup EXIT
+
+# Build first so the background process is the real binary, not a
+# compile step racing the address poll below.
+go build -o /tmp/scenario-smoke ./cmd/scenario
+
+/tmp/scenario-smoke run -debug-addr 127.0.0.1:0 \
+    -execs 300 -replicas 20000 -workers 2 -seed 1 paper-baseline \
+    >/dev/null 2>"$LOG" &
+PID=$!
+
+# The bound port is ephemeral; the CLI logs it on startup.
+ADDR=""
+i=0
+while [ $i -lt 100 ]; do
+    ADDR="$(sed -n 's#.*listening on http://\([^/]*\)/.*#\1#p' "$LOG")"
+    [ -n "$ADDR" ] && break
+    kill -0 "$PID" 2>/dev/null || { echo "campaign exited early:" >&2; cat "$LOG" >&2; exit 1; }
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$ADDR" ] || { echo "debug server never logged its address" >&2; cat "$LOG" >&2; exit 1; }
+echo "debug server at $ADDR" >&2
+
+counter() {
+    curl -sf "http://$ADDR/debug/vars" |
+        sed -n 's/.*"ctsan\.executions_completed": \([0-9]*\).*/\1/p'
+}
+
+V1="$(counter)"
+[ -n "$V1" ] || { echo "ctsan.executions_completed missing from /debug/vars" >&2; exit 1; }
+
+CODE="$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/debug/pprof/profile?seconds=1")"
+[ "$CODE" = "200" ] || { echo "/debug/pprof/profile returned $CODE" >&2; exit 1; }
+
+V2="$(counter)"
+[ -n "$V2" ] || { echo "second /debug/vars sample failed" >&2; exit 1; }
+[ "$V2" -gt "$V1" ] || { echo "executions_completed did not advance ($V1 -> $V2)" >&2; exit 1; }
+
+echo "debug smoke OK: executions_completed $V1 -> $V2, pprof profile served" >&2
