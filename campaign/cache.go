@@ -1,0 +1,38 @@
+package campaign
+
+// PointCache is a content-addressed store of completed point results,
+// consulted by Run around every point execution when installed with
+// WithPointCache. The key is the PointHash of the *frozen* point — the
+// engine name plus the fully materialized spec, derived seed included —
+// so a hit can only occur for a point that would execute identically:
+// same engine, same parameters, same seed, same replica count. Repeated
+// points across studies (thousands of users poking the same built-in
+// scenarios) are then served from memory instead of resimulated.
+//
+// Contract:
+//
+//   - Get returns a Result the caller owns: implementations must hand
+//     out an independent copy per call (the canonical implementation
+//     stores the encoded shard-record bytes and decodes a fresh Result),
+//     because Run rewrites the identity fields (Study, Point, Index) to
+//     the hitting study's values.
+//   - Put is called after a point executes, with the fully identified
+//     Result. Implementations must snapshot it (encode, copy) rather
+//     than retain the pointer.
+//   - Both methods may be called concurrently from worker goroutines.
+//   - The cache only ever observes deterministic values: for a given
+//     hash every Put stores the same statistics, so lossy admission or
+//     eviction policies cannot change any result bit — only whether a
+//     point is recomputed.
+type PointCache interface {
+	Get(hash string) (*Result, bool)
+	Put(hash string, res *Result)
+}
+
+// WithPointCache installs a content-addressed result cache consulted
+// around every point execution: a hit skips the engine entirely (the
+// obs executions counter does not advance) and the cached result is
+// re-identified and emitted to the sinks exactly as a computed one
+// would be — sink output is byte-identical either way. Points whose
+// results cannot be encoded (no digest) are silently not cached.
+func WithPointCache(c PointCache) Option { return func(o *options) { o.cache = c } }

@@ -105,6 +105,7 @@ type options struct {
 	replicas int
 	sinks    []Sink
 	progress func(done, total int, last *Result)
+	cache    PointCache
 	// totalPoints is set by Run before preparing points; it feeds the
 	// outer/inner worker-budget split.
 	totalPoints int

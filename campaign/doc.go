@@ -85,6 +85,22 @@
 // campaign; cmd/ctsan wraps this in a plan/supervise/merge CLI with
 // subprocess isolation, retry, and SIGKILL-resume differential tests.
 //
+// FrozenPoints exposes the same materialization as a value — one
+// FrozenPoint per grid cell with its index, label, engine, derived
+// seed, replica count, and PointHash — for callers that enumerate or
+// address the grid without running it (the campaign service serves it
+// verbatim). The hash covers everything execution depends on, which
+// enables WithPointCache: Run consults a PointCache around every point,
+// serving hits (with identity fields rewritten to the requesting
+// study) and storing misses. Determinism is what makes the cache
+// transparent — identical hash means identical result bits — so
+// caching, like sharding, changes only where results come from, never
+// what they are. The HTTP campaign service (internal/server, cmd/
+// ctsand) composes these pieces: DecodeStudy admits specs, FrozenPoints
+// powers its grid surfaces, a byte-budgeted LRU over encoded shard
+// records implements PointCache, and a streaming Sink fans results to
+// any number of live subscribers.
+//
 // # Observability
 //
 // Campaign execution is observable without touching determinism.

@@ -81,9 +81,35 @@ func run(ctx context.Context, study *Study, o *options) error {
 		runners[i] = r
 	}
 
+	// With a result cache installed, every point's content hash is
+	// derived up front from the frozen study — the same materialization
+	// Frozen performs — so cache keys cover the effective seed and
+	// replica count, not just the user-written spec.
+	var hashes []string
+	if o.cache != nil {
+		fps, err := frozenPoints(study, o)
+		if err != nil {
+			return err
+		}
+		hashes = make([]string, len(fps))
+		for i, fp := range fps {
+			hashes[i] = fp.Hash
+		}
+	}
+
 	total := len(runners)
 	return parallel.Stream(ctx, o.workers, total,
 		func(_, i int) (*Result, error) {
+			if o.cache != nil {
+				if res, ok := o.cache.Get(hashes[i]); ok && res != nil {
+					// Re-identify the cached result for this study: the
+					// statistics are content-addressed, the identity is not.
+					res.Study = study.Name
+					res.Point = label(study.Points[i], i)
+					res.Index = i
+					return res, nil
+				}
+			}
 			res, err := runners[i](ctx)
 			if err != nil {
 				return nil, fmt.Errorf("campaign: point %d (%s): %w", i, label(study.Points[i], i), err)
@@ -91,6 +117,9 @@ func run(ctx context.Context, study *Study, o *options) error {
 			res.Study = study.Name
 			res.Point = label(study.Points[i], i)
 			res.Index = i
+			if o.cache != nil {
+				o.cache.Put(hashes[i], res)
+			}
 			return res, nil
 		},
 		func(i int, res *Result) error {

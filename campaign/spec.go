@@ -155,12 +155,19 @@ func PointHash(p Point) (string, error) {
 // results those points have inside a full 1-process run — the property
 // the sharded executor (cmd/ctsan) is built on.
 func Frozen(study *Study, opts ...Option) (*Study, error) {
-	if study == nil || len(study.Points) == 0 {
-		return nil, fmt.Errorf("campaign: freeze of an empty study")
-	}
 	o := &options{seed: 1}
 	for _, opt := range opts {
 		opt(o)
+	}
+	return frozenWith(study, o)
+}
+
+// frozenWith is Frozen over already-resolved options: the form run()
+// uses internally, so the cache key derivation and the public freeze
+// cannot disagree about how defaults materialize.
+func frozenWith(study *Study, o *options) (*Study, error) {
+	if study == nil || len(study.Points) == 0 {
+		return nil, fmt.Errorf("campaign: freeze of an empty study")
 	}
 	out := &Study{Name: study.Name, Points: make([]Point, len(study.Points))}
 	for i, p := range study.Points {
@@ -196,6 +203,61 @@ func Frozen(study *Study, opts ...Option) (*Study, error) {
 		default:
 			return nil, fmt.Errorf("campaign: unsupported point type %T", p)
 		}
+	}
+	return out, nil
+}
+
+// FrozenPoint describes one materialized grid point of a frozen study:
+// the resolved display label, the effective seed and replica count, and
+// the content hash (PointHash) of the frozen spec — the identity the
+// result cache and shard records key on. Point holds the frozen point
+// itself, ready to execute or re-encode.
+type FrozenPoint struct {
+	Index    int    `json:"index"`
+	Label    string `json:"label"`
+	Engine   Engine `json:"engine"`
+	Seed     uint64 `json:"seed"`
+	Replicas int    `json:"replicas"`
+	Hash     string `json:"hash"`
+	Point    Point  `json:"-"`
+}
+
+// FrozenPoints freezes the study under opts (exactly as Frozen does) and
+// enumerates the resulting grid with per-point hashes and labels. Callers
+// that need cache keys, progress displays, or shard planning previously
+// re-derived this by composing Frozen, StudyPointHashes, and the label
+// fallback by hand; this is the one canonical enumeration.
+func (s *Study) FrozenPoints(opts ...Option) ([]FrozenPoint, error) {
+	o := &options{seed: 1}
+	for _, opt := range opts {
+		opt(o)
+	}
+	return frozenPoints(s, o)
+}
+
+// frozenPoints is FrozenPoints over resolved options (run()'s cache path
+// shares it).
+func frozenPoints(study *Study, o *options) ([]FrozenPoint, error) {
+	fz, err := frozenWith(study, o)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]FrozenPoint, len(fz.Points))
+	for i, p := range fz.Points {
+		h, err := PointHash(p)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: point %d: %w", i, err)
+		}
+		fp := FrozenPoint{Index: i, Label: label(p, i), Engine: p.Engine(), Hash: h, Point: p}
+		switch q := p.(type) {
+		case LatencyPoint:
+			fp.Seed, fp.Replicas = q.Seed, 1
+		case SANPoint:
+			fp.Seed, fp.Replicas = q.Seed, q.Replicas
+		case ScenarioPoint:
+			fp.Seed, fp.Replicas = q.Seed, q.Replicas
+		}
+		out[i] = fp
 	}
 	return out, nil
 }

@@ -1,0 +1,119 @@
+// Command ctsand is the campaign service daemon: the HTTP front end to
+// the campaign engine (internal/server). Concurrent users POST v1 study
+// specs — the same JSON `ctsan freeze` emits and every CLI consumes —
+// browse the scenario registry, stream per-point results live (JSONL or
+// SSE), and fetch final digests. Repeated points are served from a
+// content-addressed in-memory result cache; determinism makes a cache
+// hit byte-identical to a fresh run.
+//
+//	ctsand -addr localhost:8321
+//	ctsand -addr :0 -workers 8 -max-active 2 -queue 16 -cache-mb 64
+//
+// Admission is bounded: when -queue studies are already waiting the
+// service answers 429 with Retry-After. At most -max-active studies run
+// concurrently, each on an equal share of the -workers pool. SIGINT or
+// SIGTERM starts a graceful drain: new submissions get 503, running
+// studies finish (up to -drain-timeout, then they are canceled through
+// the campaign ctx plumbing), and the process exits 0.
+//
+// With -debug the service's own listener also serves /debug/vars and
+// /debug/pprof — including the cache hit/miss/eviction and queue-depth
+// gauges; -debug-addr additionally starts the standalone telemetry
+// listener shared by all ctsan CLIs.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ctsan/internal/cliflags"
+	"ctsan/internal/server"
+)
+
+func main() {
+	fs := flag.NewFlagSet("ctsand", flag.ExitOnError)
+	var (
+		addr         = fs.String("addr", "localhost:8321", "listen address (use :0 for an ephemeral port)")
+		workers      = cliflags.Workers(fs)
+		maxActive    = fs.Int("max-active", 2, "studies executing concurrently, each on workers/max-active goroutines")
+		queueDepth   = fs.Int("queue", 16, "admission queue depth; submissions beyond it get 429")
+		cacheMB      = fs.Int("cache-mb", 64, "content-addressed result cache budget in MiB (0 disables)")
+		seed         = cliflags.Seed(fs)
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget before running studies are canceled")
+		debug        = fs.Bool("debug", true, "serve /debug/vars and /debug/pprof on the service listener")
+		debugAddr    = cliflags.DebugAddr(fs)
+	)
+	fs.Parse(os.Args[1:])
+	if err := run(*addr, *workers, *maxActive, *queueDepth, *cacheMB, *seed, *drainTimeout, *debug, *debugAddr); err != nil {
+		cliflags.Fail("ctsand", err)
+	}
+}
+
+func run(addr string, workers, maxActive, queueDepth, cacheMB int, seed uint64, drainTimeout time.Duration, debug bool, debugAddr string) error {
+	if err := cliflags.CheckSeed(seed); err != nil {
+		return err
+	}
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "ctsand: "+format+"\n", args...)
+	}
+
+	cacheBytes := int64(cacheMB) << 20
+	if cacheMB <= 0 {
+		cacheBytes = -1 // disabled, not "default"
+	}
+	srv := server.New(server.Config{
+		Workers:     workers,
+		MaxActive:   maxActive,
+		QueueDepth:  queueDepth,
+		CacheBytes:  cacheBytes,
+		DefaultSeed: seed,
+		Debug:       debug,
+		Logf:        logf,
+	})
+
+	stopDebug, err := cliflags.StartDebug(debugAddr, logf)
+	if err != nil {
+		return err
+	}
+	defer stopDebug()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	logf("campaign service listening on http://%s/", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case err := <-serveErr:
+		return err
+	}
+
+	logf("draining (budget %s): running studies finish, new submissions get 503", drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	// Drain the campaign queue first — subscribers keep their streams
+	// until every study is terminal — then close the HTTP side.
+	if err := srv.Shutdown(dctx); err != nil {
+		return err
+	}
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	logf("drained, exiting")
+	return nil
+}

@@ -91,12 +91,11 @@ trace flags (plus -replicas/-execs/-workers/-seed/-spec as above):
 }
 
 func list() {
-	for _, name := range scenario.Names() {
-		s, err := scenario.Get(name)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Printf("%-18s n=%-2d execs=%-4d %s\n", name, s.N, s.Executions, firstSentence(s.Doc))
+	// The registry listing is data (scenario.List) — the same records
+	// the campaign service serves at /api/v1/scenarios — rendered here
+	// one line per scenario.
+	for _, info := range scenario.List() {
+		fmt.Printf("%-18s n=%-2d execs=%-4d %s\n", info.Name, info.N, info.Executions, firstSentence(info.Doc))
 	}
 }
 

@@ -74,6 +74,19 @@
 // (the versioned metrics.Digest binary/JSON encodings, study specs,
 // shard records, and checkpoint framing).
 //
+// The same campaigns are served long-running by cmd/ctsand
+// (internal/server): an HTTP service where concurrent users POST the
+// identical study-spec JSON, browse the scenario registry, watch
+// results stream live (chunked JSONL or SSE, in deterministic
+// point-index order, byte-identical to an in-process run), and fetch
+// final digests. The service is where the production concerns live —
+// bounded admission (429 + Retry-After past the queue depth), per-study
+// worker budgets carved from one shared pool, graceful drain through
+// the campaign ctx plumbing — and where determinism pays off twice: a
+// content-addressed result cache (campaign.PointHash of the frozen
+// point → encoded shard record) serves repeated points from memory,
+// bit-identical to resimulating them.
+//
 // Every engine layer is traceable: an optional internal/trace tracer
 // captures typed, sim-timed records — kernel scheduling, message
 // send/deliver/drop with cause, timer lifecycle, fault and workload

@@ -40,6 +40,25 @@ var (
 	ShardBackoffMS = expvar.NewInt("ctsan.shard_backoff_ms")
 	// CheckpointAppends counts durable checkpoint records written.
 	CheckpointAppends = expvar.NewInt("ctsan.checkpoint_appends")
+	// CacheHits / CacheMisses / CacheEvictions count result-cache
+	// lookups that were served from memory, lookups that fell through to
+	// the engine, and entries dropped by the LRU bound (the campaign
+	// service's content-addressed point cache).
+	CacheHits      = expvar.NewInt("ctsan.cache_hits")
+	CacheMisses    = expvar.NewInt("ctsan.cache_misses")
+	CacheEvictions = expvar.NewInt("ctsan.cache_evictions")
+)
+
+// Gauges (set, not accumulated), published as expvar ints:
+var (
+	// CacheBytes / CacheEntries are the result cache's current retained
+	// size and entry count.
+	CacheBytes   = expvar.NewInt("ctsan.cache_bytes")
+	CacheEntries = expvar.NewInt("ctsan.cache_entries")
+	// QueueDepth is the number of studies admitted but not yet running;
+	// StudiesActive the number currently executing.
+	QueueDepth    = expvar.NewInt("ctsan.queue_depth")
+	StudiesActive = expvar.NewInt("ctsan.studies_active")
 )
 
 // Worker-pool activity, fed by internal/parallel around each work unit.
@@ -88,16 +107,14 @@ func init() {
 	}))
 }
 
-// Serve starts the debug listener on addr (host:port; port 0 picks a
-// free one) exposing /debug/vars (expvar) and /debug/pprof/*. It returns
-// the bound address and a shutdown function. The handlers are mounted on
-// a private mux, not http.DefaultServeMux, so importing obs never
-// exposes profiling endpoints on servers the embedding program runs.
-func Serve(addr string) (string, func() error, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", nil, err
-	}
+// DebugMux returns a fresh mux exposing /debug/vars (expvar) and the
+// /debug/pprof/* profiling endpoints. Serve mounts it on its own
+// listener; the campaign service (internal/server) mounts the same mux
+// on its public listener so one port carries both the API and the
+// telemetry. The mux is private — never http.DefaultServeMux — so
+// importing obs cannot leak profiling endpoints onto servers the
+// embedding program runs.
+func DebugMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -105,7 +122,18 @@ func Serve(addr string) (string, func() error, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	srv := &http.Server{Handler: mux}
+	return mux
+}
+
+// Serve starts the debug listener on addr (host:port; port 0 picks a
+// free one) exposing the DebugMux endpoints. It returns the bound
+// address and a shutdown function.
+func Serve(addr string) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: DebugMux()}
 	go srv.Serve(ln) //nolint:errcheck // Close shuts it down; errors after that are expected
 	return ln.Addr().String(), srv.Close, nil
 }

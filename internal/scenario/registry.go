@@ -51,6 +51,53 @@ func Names() []string {
 	return names
 }
 
+// Info is the registry listing of one scenario as plain data: what a
+// catalog UI (or the campaign service's /api/v1/scenarios endpoint)
+// needs to present the built-ins without constructing or executing
+// anything. The effective heartbeat period is materialized (PeriodTh is
+// 0.7·TimeoutT when unset), so consumers need no scenario-layer
+// defaulting rules.
+type Info struct {
+	Name           string           `json:"name"`
+	Doc            string           `json:"doc"`
+	N              int              `json:"n"`
+	Executions     int              `json:"executions"`
+	Gap            float64          `json:"gap_ms"`
+	TimeoutT       float64          `json:"timeout_t_ms,omitempty"`
+	PeriodTh       float64          `json:"period_th_ms,omitempty"`
+	InitialCrashed []neko.ProcessID `json:"initial_crashed,omitempty"`
+	Events         int              `json:"events"`
+}
+
+// List returns the registry as data, in Names() order: one Info per
+// registered scenario.
+func List() []Info {
+	names := Names()
+	out := make([]Info, 0, len(names))
+	for _, name := range names {
+		s, err := Get(name)
+		if err != nil {
+			continue // raced deregistration cannot happen for built-ins
+		}
+		info := Info{
+			Name:           s.Name,
+			Doc:            s.Doc,
+			N:              s.N,
+			Executions:     s.Executions,
+			Gap:            s.Gap,
+			TimeoutT:       s.TimeoutT,
+			PeriodTh:       s.PeriodTh,
+			InitialCrashed: s.InitialCrashed,
+			Events:         len(s.Events),
+		}
+		if info.TimeoutT > 0 && info.PeriodTh == 0 {
+			info.PeriodTh = 0.7 * info.TimeoutT
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
 // Built-in scenarios. Each reproduces or extends a condition the paper
 // measures; docs cite the section the phenomenon comes from.
 func init() {

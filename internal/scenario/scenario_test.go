@@ -48,6 +48,32 @@ func TestRegistryBuiltins(t *testing.T) {
 	}
 }
 
+func TestListMatchesRegistry(t *testing.T) {
+	infos := List()
+	names := Names()
+	if len(infos) != len(names) {
+		t.Fatalf("List returned %d entries, registry holds %d", len(infos), len(names))
+	}
+	for i, info := range infos {
+		if info.Name != names[i] {
+			t.Errorf("entry %d: name %q, want %q (Names order)", i, info.Name, names[i])
+		}
+		s, err := Get(info.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Doc != s.Doc || info.N != s.N || info.Executions != s.Executions ||
+			info.Gap != s.Gap || info.Events != len(s.Events) {
+			t.Errorf("%s: Info diverges from the scenario value", info.Name)
+		}
+		// The effective heartbeat period is materialized: no zero
+		// PeriodTh on a heartbeat scenario.
+		if info.TimeoutT > 0 && info.PeriodTh == 0 {
+			t.Errorf("%s: PeriodTh not materialized", info.Name)
+		}
+	}
+}
+
 func TestValidateRejectsMalformedScenarios(t *testing.T) {
 	cases := []struct {
 		name string

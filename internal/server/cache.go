@@ -1,0 +1,151 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"ctsan/campaign"
+	"ctsan/internal/obs"
+)
+
+// Cache is the service's content-addressed result cache: a bounded LRU
+// from campaign.PointHash (engine + fully materialized point spec,
+// derived seed included) to the encoded shard record of the completed
+// point. It implements campaign.PointCache, so campaign.Run consults it
+// around every point execution.
+//
+// Entries are stored as encoded bytes, not live Results, deliberately:
+// Get decodes a fresh Result per hit (Run rewrites its identity fields
+// in place), the byte size gives an honest memory bound, and the stored
+// record is the same wire format the sharded executor checkpoints — a
+// future multi-machine tier can spill or share these records verbatim.
+//
+// Determinism makes the cache safe by construction: for a given hash
+// every Put stores identical statistics, so concurrent Puts, lost
+// updates, or evictions can change only whether a point is recomputed,
+// never any result bit.
+type Cache struct {
+	mu    sync.Mutex
+	max   int64 // byte budget for stored record bytes
+	size  int64
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	hash string
+	line []byte
+}
+
+// NewCache returns a cache bounded to maxBytes of encoded records.
+// maxBytes <= 0 returns nil — the "cache disabled" value; a nil *Cache
+// is a valid, always-missing PointCache.
+func NewCache(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		return nil
+	}
+	return &Cache{max: maxBytes, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// Get implements campaign.PointCache: it decodes a fresh Result from
+// the stored record. A decode failure (impossible unless memory was
+// corrupted) is treated as a miss and the entry dropped.
+func (c *Cache) Get(hash string) (*campaign.Result, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	el, ok := c.items[hash]
+	var line []byte
+	if ok {
+		c.ll.MoveToFront(el)
+		line = el.Value.(*cacheEntry).line
+	}
+	c.mu.Unlock()
+	if !ok {
+		obs.CacheMisses.Add(1)
+		return nil, false
+	}
+	rec, err := campaign.DecodeShardRecord(line)
+	if err != nil {
+		c.drop(hash)
+		obs.CacheMisses.Add(1)
+		return nil, false
+	}
+	res, err := rec.DecodeResult()
+	if err != nil {
+		c.drop(hash)
+		obs.CacheMisses.Add(1)
+		return nil, false
+	}
+	obs.CacheHits.Add(1)
+	return res, true
+}
+
+// Put implements campaign.PointCache: it encodes the result as a shard
+// record and inserts it, evicting least-recently-used entries past the
+// byte budget. Results that cannot be encoded, or single records larger
+// than the whole budget, are not cached.
+func (c *Cache) Put(hash string, res *campaign.Result) {
+	if c == nil {
+		return
+	}
+	line, err := campaign.EncodeShardRecord(hash, res)
+	if err != nil || int64(len(line)) > c.max {
+		return
+	}
+	c.mu.Lock()
+	if el, ok := c.items[hash]; ok {
+		// Deterministic duplicate (or a re-Put after eviction raced a
+		// Get): refresh recency, keep the existing bytes.
+		c.ll.MoveToFront(el)
+		c.mu.Unlock()
+		return
+	}
+	c.items[hash] = c.ll.PushFront(&cacheEntry{hash: hash, line: line})
+	c.size += int64(len(line))
+	var evicted int64
+	for c.size > c.max {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.items, e.hash)
+		c.size -= int64(len(e.line))
+		evicted++
+	}
+	size, entries := c.size, int64(len(c.items))
+	c.mu.Unlock()
+	if evicted > 0 {
+		obs.CacheEvictions.Add(evicted)
+	}
+	obs.CacheBytes.Set(size)
+	obs.CacheEntries.Set(entries)
+}
+
+// drop removes a corrupt entry.
+func (c *Cache) drop(hash string) {
+	c.mu.Lock()
+	if el, ok := c.items[hash]; ok {
+		e := el.Value.(*cacheEntry)
+		c.ll.Remove(el)
+		delete(c.items, hash)
+		c.size -= int64(len(e.line))
+		obs.CacheBytes.Set(c.size)
+		obs.CacheEntries.Set(int64(len(c.items)))
+	}
+	c.mu.Unlock()
+}
+
+// Stats reports the cache's current size for the service stats
+// endpoint.
+func (c *Cache) Stats() (bytes int64, entries int) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.size, len(c.items)
+}

@@ -1,0 +1,727 @@
+// Package server is the campaign service: a long-running HTTP server
+// over the campaign engine, the multi-user counterpart of the one-shot
+// CLIs. Concurrent users POST v1 study-spec JSON (decoded by
+// campaign.DecodeStudy — the service and the CLIs share one format by
+// construction), browse the scenario registry, watch per-point results
+// stream live over SSE or chunked JSONL, and fetch final digests.
+//
+// Production concerns are the point of the package:
+//
+//   - Admission: a bounded queue of submitted studies. When it is full
+//     the service answers 429 with Retry-After instead of accepting
+//     unbounded work; while draining it answers 503.
+//   - Worker budgets: at most MaxActive studies execute concurrently,
+//     each on an equal share of one shared worker pool — a
+//     million-point study occupies its slot and its share, it cannot
+//     starve the small studies running beside it.
+//   - Streaming: results are broadcast through a per-study hub as they
+//     leave campaign.Run (a campaign.Sink), in deterministic point
+//     order; any number of subscribers replay and follow. The JSONL
+//     stream is byte-identical to what campaign.JSONLWriter emits for
+//     the same study in process.
+//   - Result cache: a content-addressed LRU (campaign.PointHash of the
+//     frozen point — engine, spec, materialized seed — to the encoded
+//     shard record) serves repeated points from memory instead of
+//     resimulating them, with hit/miss/eviction telemetry in
+//     internal/obs. Determinism makes this transparent: a hit changes
+//     no result bit, only the time to produce it.
+//   - Graceful shutdown: Shutdown stops admission, lets running studies
+//     drain, and past the deadline cancels them through the same ctx
+//     plumbing that reaches every replica loop.
+package server
+
+import (
+	"context"
+	_ "embed"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"ctsan/campaign"
+	"ctsan/internal/cliflags"
+	"ctsan/internal/obs"
+	"ctsan/internal/parallel"
+	"ctsan/internal/scenario"
+)
+
+// Config sizes the service; the zero value gets sensible defaults.
+type Config struct {
+	// Workers is the shared worker-pool budget split across concurrently
+	// running studies (0 = one per CPU).
+	Workers int
+	// MaxActive is the number of studies executing at once (default 2).
+	MaxActive int
+	// QueueDepth bounds studies admitted but not yet running (default
+	// 16); beyond it submissions get 429.
+	QueueDepth int
+	// CacheBytes bounds the content-addressed result cache (default
+	// 64 MiB); negative disables caching.
+	CacheBytes int64
+	// DefaultSeed seeds submissions that do not pin one (default 1).
+	DefaultSeed uint64
+	// MaxSpecBytes bounds the request body of a study submission
+	// (default 8 MiB).
+	MaxSpecBytes int64
+	// Debug mounts /debug/vars and /debug/pprof on the service mux.
+	Debug bool
+	// Logf, when non-nil, receives one line per lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() {
+	if c.MaxActive <= 0 {
+		c.MaxActive = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.DefaultSeed == 0 {
+		c.DefaultSeed = 1
+	}
+	if c.MaxSpecBytes <= 0 {
+		c.MaxSpecBytes = 8 << 20
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// study is the server-side state of one submission.
+type study struct {
+	id        string
+	spec      *campaign.Study
+	specBytes []byte
+	seed      uint64
+	replicas  int
+	workers   int
+	points    []campaign.FrozenPoint
+	hub       *hub
+	submitted time.Time
+
+	mu        sync.Mutex
+	status    string // "queued", "running", "done", "failed", "canceled"
+	errMsg    string
+	done      int
+	hits      int64
+	misses    int64
+	started   time.Time
+	finished  time.Time
+}
+
+// Status is the wire shape of one study's state.
+type Status struct {
+	ID       string `json:"id"`
+	Name     string `json:"name"`
+	Status   string `json:"status"`
+	Error    string `json:"error,omitempty"`
+	Points   int    `json:"points"`
+	Done     int    `json:"done"`
+	Seed     uint64 `json:"seed"`
+	Replicas int    `json:"replicas,omitempty"`
+	// Workers is the per-study budget carved from the shared pool.
+	Workers     int    `json:"workers"`
+	CacheHits   int64  `json:"cache_hits"`
+	CacheMisses int64  `json:"cache_misses"`
+	Submitted   string `json:"submitted"`
+	Started     string `json:"started,omitempty"`
+	Finished    string `json:"finished,omitempty"`
+}
+
+func (st *study) snapshot() Status {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s := Status{
+		ID:          st.id,
+		Name:        st.spec.Name,
+		Status:      st.status,
+		Error:       st.errMsg,
+		Points:      len(st.points),
+		Done:        st.done,
+		Seed:        st.seed,
+		Replicas:    st.replicas,
+		Workers:     st.workers,
+		CacheHits:   st.hits,
+		CacheMisses: st.misses,
+		Submitted:   st.submitted.UTC().Format(time.RFC3339Nano),
+	}
+	if !st.started.IsZero() {
+		s.Started = st.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !st.finished.IsZero() {
+		s.Finished = st.finished.UTC().Format(time.RFC3339Nano)
+	}
+	return s
+}
+
+func (st *study) setRunning() {
+	st.mu.Lock()
+	st.status = "running"
+	st.started = time.Now()
+	st.mu.Unlock()
+}
+
+func (st *study) setProgress(done int) {
+	st.mu.Lock()
+	st.done = done
+	st.mu.Unlock()
+}
+
+func (st *study) setFinished(err error) {
+	st.mu.Lock()
+	st.finished = time.Now()
+	switch {
+	case err == nil:
+		st.status = "done"
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		st.status = "canceled"
+		st.errMsg = err.Error()
+	default:
+		st.status = "failed"
+		st.errMsg = err.Error()
+	}
+	st.mu.Unlock()
+}
+
+func (st *study) countLookup(hit bool) {
+	st.mu.Lock()
+	if hit {
+		st.hits++
+	} else {
+		st.misses++
+	}
+	st.mu.Unlock()
+}
+
+// countingCache layers per-study hit/miss accounting over the shared
+// cache.
+type countingCache struct {
+	c  *Cache
+	st *study
+}
+
+func (cc *countingCache) Get(hash string) (*campaign.Result, bool) {
+	res, ok := cc.c.Get(hash)
+	cc.st.countLookup(ok)
+	return res, ok
+}
+
+func (cc *countingCache) Put(hash string, res *campaign.Result) { cc.c.Put(hash, res) }
+
+// Server is the campaign service. Create with New, expose with
+// Handler, stop with Shutdown.
+type Server struct {
+	cfg    Config
+	budget int // per-study worker budget
+	mux    *http.ServeMux
+	cache  *Cache
+
+	runCtx    context.Context
+	cancelRun context.CancelFunc
+	wg        sync.WaitGroup // slot goroutines
+
+	mu       sync.Mutex
+	studies  map[string]*study
+	order    []string
+	queue    chan *study
+	nextID   int
+	draining bool
+
+	shutdownOnce sync.Once
+
+	// testGate, when non-nil, blocks each study after it turns running
+	// until the gate closes (or the run context is canceled). Test-only:
+	// it lets tests hold studies "running" deterministically to exercise
+	// queue admission and shutdown without timing assumptions.
+	testGate chan struct{}
+}
+
+// New builds the service and starts its MaxActive scheduler slots.
+func New(cfg Config) *Server {
+	cfg.fill()
+	s := &Server{
+		cfg:     cfg,
+		budget:  max(1, parallel.Workers(cfg.Workers)/cfg.MaxActive),
+		cache:   NewCache(cfg.CacheBytes),
+		studies: map[string]*study{},
+		queue:   make(chan *study, cfg.QueueDepth),
+	}
+	s.runCtx, s.cancelRun = context.WithCancel(context.Background())
+	s.mux = s.routes()
+	for i := 0; i < cfg.MaxActive; i++ {
+		s.wg.Add(1)
+		go s.slot()
+	}
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown stops admission (submissions get 503), waits for queued and
+// running studies to drain, and once ctx is done cancels the remainder
+// through the campaign ctx plumbing — every replica loop observes the
+// cancellation at its next unit boundary. It returns after all studies
+// have reached a terminal status; streams are finished, so subscribers
+// unblock. Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutdownOnce.Do(func() {
+		s.mu.Lock()
+		s.draining = true
+		s.mu.Unlock()
+		// No sends can follow: submissions check draining under s.mu
+		// before enqueueing, so closing here cannot race a send.
+		close(s.queue)
+	})
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		s.cfg.Logf("shutdown deadline reached, canceling running studies")
+		s.cancelRun()
+		<-drained
+	}
+	s.cancelRun() // release the context either way
+	return nil
+}
+
+// slot is one scheduler goroutine: it owns one MaxActive slot and runs
+// queued studies sequentially on the slot's worker budget.
+func (s *Server) slot() {
+	defer s.wg.Done()
+	for st := range s.queue {
+		obs.QueueDepth.Add(-1)
+		s.runStudy(st)
+	}
+}
+
+func (s *Server) runStudy(st *study) {
+	st.setRunning()
+	if s.testGate != nil {
+		select {
+		case <-s.testGate:
+		case <-s.runCtx.Done():
+		}
+	}
+	obs.StudiesActive.Add(1)
+	s.cfg.Logf("study %s (%q): running %d points on %d workers", st.id, st.spec.Name, len(st.points), st.workers)
+	opts := []campaign.Option{
+		campaign.WithSeed(st.seed),
+		campaign.WithReplicas(st.replicas),
+		campaign.WithWorkers(st.workers),
+		campaign.WithSink(&hubSink{hub: st.hub}),
+		campaign.WithProgress(func(done, total int, _ *campaign.Result) { st.setProgress(done) }),
+	}
+	if s.cache != nil {
+		opts = append(opts, campaign.WithPointCache(&countingCache{c: s.cache, st: st}))
+	}
+	err := campaign.Run(s.runCtx, st.spec, opts...)
+	obs.StudiesActive.Add(-1)
+	st.setFinished(err)
+	final := st.snapshot()
+	if err != nil {
+		st.hub.finish(err.Error())
+		s.cfg.Logf("study %s: %s (%v)", st.id, final.Status, err)
+		return
+	}
+	st.hub.finish("")
+	s.cfg.Logf("study %s: done (%d points, %d cache hits)", st.id, final.Points, final.CacheHits)
+}
+
+//go:embed index.html
+var indexHTML []byte
+
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write(indexHTML)
+	})
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("POST /api/v1/studies", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/studies", s.handleList)
+	mux.HandleFunc("GET /api/v1/studies/{id}", s.handleStatus)
+	mux.HandleFunc("GET /api/v1/studies/{id}/spec", s.handleSpec)
+	mux.HandleFunc("GET /api/v1/studies/{id}/points", s.handlePoints)
+	mux.HandleFunc("GET /api/v1/studies/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /api/v1/studies/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /api/v1/studies/{id}/digest", s.handleDigest)
+	mux.HandleFunc("GET /api/v1/scenarios", s.handleScenarios)
+	mux.HandleFunc("GET /api/v1/stats", s.handleStats)
+	if s.cfg.Debug {
+		// The telemetry mux on the service's own listener: one port
+		// carries the API, /debug/vars, and the pprof endpoints.
+		mux.Handle("/debug/", obs.DebugMux())
+	}
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	w.Write(buf)
+	w.Write([]byte{'\n'})
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit is the admission path: decode and validate first (a
+// malformed spec is 400 even when the queue is full), then admit under
+// the queue bound, then 202 with the study's initial status.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(w, r, s.cfg.MaxSpecBytes)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "study spec exceeds %d bytes", tooLarge.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	spec, err := campaign.DecodeStudy(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(spec.Points) == 0 {
+		writeError(w, http.StatusBadRequest, "campaign: study with no points (nothing to run)")
+		return
+	}
+	seed := s.cfg.DefaultSeed
+	if v := r.URL.Query().Get("seed"); v != "" {
+		seed, err = strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "seed: %v", err)
+			return
+		}
+	}
+	if err := cliflags.CheckSeed(seed); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	replicas := 0
+	if v := r.URL.Query().Get("replicas"); v != "" {
+		replicas, err = strconv.Atoi(v)
+		if err != nil || replicas < 0 {
+			writeError(w, http.StatusBadRequest, "replicas: not a non-negative integer: %q", v)
+			return
+		}
+	}
+	// Freeze the grid now: enumeration errors are submission errors, and
+	// the materialized points power the progress and cache surfaces.
+	points, err := spec.FrozenPoints(campaign.WithSeed(seed), campaign.WithReplicas(replicas))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	st := &study{
+		spec:      spec,
+		specBytes: body,
+		seed:      seed,
+		replicas:  replicas,
+		workers:   s.budget,
+		points:    points,
+		hub:       newHub(),
+		submitted: time.Now(),
+		status:    "queued",
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, "service is draining")
+		return
+	}
+	s.nextID++
+	st.id = fmt.Sprintf("s%06d", s.nextID)
+	select {
+	case s.queue <- st:
+		s.studies[st.id] = st
+		s.order = append(s.order, st.id)
+		s.mu.Unlock()
+		obs.QueueDepth.Add(1)
+		s.cfg.Logf("study %s (%q): admitted, %d points, seed %d", st.id, spec.Name, len(points), seed)
+		writeJSON(w, http.StatusAccepted, st.snapshot())
+	default:
+		s.nextID-- // not admitted; reuse the id
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "campaign queue is full (%d queued)", s.cfg.QueueDepth)
+	}
+}
+
+func readBody(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, error) {
+	defer r.Body.Close()
+	return io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *study {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	st := s.studies[id]
+	s.mu.Unlock()
+	if st == nil {
+		writeError(w, http.StatusNotFound, "unknown study %q", id)
+		return nil
+	}
+	return st
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if st := s.lookup(w, r); st != nil {
+		writeJSON(w, http.StatusOK, st.snapshot())
+	}
+}
+
+func (s *Server) handleSpec(w http.ResponseWriter, r *http.Request) {
+	if st := s.lookup(w, r); st != nil {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Write(st.specBytes)
+	}
+}
+
+func (s *Server) handlePoints(w http.ResponseWriter, r *http.Request) {
+	if st := s.lookup(w, r); st != nil {
+		writeJSON(w, http.StatusOK, st.points)
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	states := make([]*study, 0, len(s.order))
+	for _, id := range s.order {
+		states = append(states, s.studies[id])
+	}
+	s.mu.Unlock()
+	out := make([]Status, len(states))
+	for i, st := range states {
+		out[i] = st.snapshot()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleResults streams the study's results as chunked JSONL: replay of
+// everything emitted so far, then the live tail, ending when the study
+// does. The bytes are exactly what campaign.JSONLWriter emits in
+// process — one json.Marshal(Result) per line — so a saved stream is
+// byte-comparable against a local run. A study that fails or is
+// canceled simply ends its stream early; the status endpoint carries
+// the error.
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	st := s.lookup(w, r)
+	if st == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	flush := func() {
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+	i := 0
+	for {
+		lines, done, _, wait := st.hub.snapshot(i)
+		for _, line := range lines {
+			if _, err := w.Write(append(line, '\n')); err != nil {
+				return
+			}
+			i++
+		}
+		flush()
+		if done {
+			return
+		}
+		select {
+		case <-wait:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleEvents is the same stream as Server-Sent Events: one "result"
+// event per point, then a terminal "done" or "error" event, for
+// browsers and EventSource clients.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	st := s.lookup(w, r)
+	if st == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	flush := func() {
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+	flush()
+	i := 0
+	for {
+		lines, done, errMsg, wait := st.hub.snapshot(i)
+		for _, line := range lines {
+			// Result JSON never contains newlines, so one data: line
+			// carries the whole object.
+			if _, err := fmt.Fprintf(w, "event: result\nid: %d\ndata: %s\n\n", i, line); err != nil {
+				return
+			}
+			i++
+		}
+		flush()
+		if done {
+			if errMsg != "" {
+				msg, _ := json.Marshal(errorBody{Error: errMsg})
+				fmt.Fprintf(w, "event: error\ndata: %s\n\n", msg)
+			} else {
+				fmt.Fprintf(w, "event: done\ndata: {\"results\": %d}\n\n", i)
+			}
+			flush()
+			return
+		}
+		select {
+		case <-wait:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// digestBody is the completed-study response: every result object, in
+// point-index order, spliced from the exact streamed bytes.
+type digestBody struct {
+	ID      string            `json:"id"`
+	Name    string            `json:"name"`
+	Status  string            `json:"status"`
+	Points  int               `json:"points"`
+	Results []json.RawMessage `json:"results"`
+}
+
+// handleDigest returns the final result set of a completed study; while
+// the study is queued or running it answers 425 (Too Early) with
+// Retry-After, and for a failed or canceled study 409 with the error.
+func (s *Server) handleDigest(w http.ResponseWriter, r *http.Request) {
+	st := s.lookup(w, r)
+	if st == nil {
+		return
+	}
+	status := st.snapshot()
+	switch status.Status {
+	case "queued", "running":
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooEarly, status)
+	case "failed", "canceled":
+		writeJSON(w, http.StatusConflict, status)
+	default:
+		lines, _, _, _ := st.hub.snapshot(0)
+		body := digestBody{
+			ID:      status.ID,
+			Name:    status.Name,
+			Status:  status.Status,
+			Points:  status.Points,
+			Results: make([]json.RawMessage, len(lines)),
+		}
+		for i, line := range lines {
+			body.Results[i] = json.RawMessage(line)
+		}
+		writeJSON(w, http.StatusOK, body)
+	}
+}
+
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, scenario.List())
+}
+
+// statsBody is the service-level stats surface (the per-process
+// counters live in /debug/vars).
+type statsBody struct {
+	Studies  map[string]int `json:"studies"`
+	Queue    map[string]int `json:"queue"`
+	Workers  map[string]int `json:"workers"`
+	Cache    cacheStats     `json:"cache"`
+	Draining bool           `json:"draining"`
+}
+
+type cacheStats struct {
+	Enabled   bool  `json:"enabled"`
+	Bytes     int64 `json:"bytes"`
+	MaxBytes  int64 `json:"max_bytes"`
+	Entries   int   `json:"entries"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	byStatus := map[string]int{}
+	for _, st := range s.studies {
+		st.mu.Lock()
+		byStatus[st.status]++
+		st.mu.Unlock()
+	}
+	byStatus["total"] = len(s.studies)
+	depth := len(s.queue)
+	draining := s.draining
+	s.mu.Unlock()
+	bytes, entries := s.cache.Stats()
+	body := statsBody{
+		Studies: byStatus,
+		Queue:   map[string]int{"depth": depth, "capacity": s.cfg.QueueDepth},
+		Workers: map[string]int{
+			"pool":       parallel.Workers(s.cfg.Workers),
+			"per_study":  s.budget,
+			"max_active": s.cfg.MaxActive,
+		},
+		Cache: cacheStats{
+			Enabled:   s.cache != nil,
+			Bytes:     bytes,
+			MaxBytes:  s.cfg.CacheBytes,
+			Entries:   entries,
+			Hits:      obs.CacheHits.Value(),
+			Misses:    obs.CacheMisses.Value(),
+			Evictions: obs.CacheEvictions.Value(),
+		},
+		Draining: draining,
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}

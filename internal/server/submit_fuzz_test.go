@@ -1,0 +1,86 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+
+	"ctsan/campaign"
+)
+
+// fuzzServer builds a service whose admission queue has zero capacity
+// and no scheduler: every well-formed submission is turned away with
+// 429 after full validation, so the fuzz exercises the entire decode →
+// validate → admit path without ever executing a study or spawning a
+// goroutine.
+func fuzzServer() *Server {
+	cfg := Config{}
+	cfg.fill()
+	s := &Server{
+		cfg:     cfg,
+		budget:  1,
+		studies: map[string]*study{},
+		queue:   make(chan *study), // unbuffered, no receiver: always full
+	}
+	s.runCtx, s.cancelRun = context.WithCancel(context.Background())
+	s.mux = s.routes()
+	return s
+}
+
+// FuzzSubmitStudy throws arbitrary bytes at POST /api/v1/studies. The
+// committed corpus mirrors campaign's FuzzDecodeStudy seeds — the
+// service reuses DecodeStudy verbatim, so the two surfaces must reject
+// identically. Invariants: malformed specs get 400 with a JSON error
+// body, valid specs get 429 (the test queue admits nothing), the
+// handler never panics, and no goroutines accumulate.
+func FuzzSubmitStudy(f *testing.F) {
+	study := campaign.NewStudy("seed",
+		campaign.SANPoint{N: 3, Replicas: 10},
+		campaign.LatencyPoint{N: 3, Executions: 5},
+		campaign.ScenarioPoint{Name: "paper-baseline", Replicas: 1, Executions: 5},
+	)
+	spec, err := campaign.EncodeStudy(study)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(spec)
+	f.Add(spec[:len(spec)/2])
+	for _, s := range []string{
+		`{"v":1,"name":"x","points":[{"engine":"san","spec":{"N":3}}]}`,
+		`{"v":2,"name":"x","points":[]}`,
+		`{"v":1,"name":"x","points":[{"engine":"quantum","spec":{}}]}`,
+		`{"v":1,"name":"x","points":[{"engine":"san","spec":{"N":3,"Replicaz":10}}]}`,
+		`{"v":1,"name":"x","points":[{"engine":"emulation","spec":{"N":1e309}}]}`,
+		`{"v":1,"name":"x","points":[null]}`,
+		`{"v":1}`,
+		`[]`,
+		`-`,
+		``,
+	} {
+		f.Add([]byte(s))
+	}
+
+	s := fuzzServer()
+	base := runtime.NumGoroutine()
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest("POST", "/api/v1/studies", bytes.NewReader(body))
+		rr := httptest.NewRecorder()
+		s.mux.ServeHTTP(rr, req)
+		switch rr.Code {
+		case http.StatusBadRequest, http.StatusRequestEntityTooLarge, http.StatusTooManyRequests:
+		default:
+			t.Fatalf("status %d for body %q — admission must reject with 400/413/429", rr.Code, body)
+		}
+		var eb errorBody
+		if err := json.Unmarshal(rr.Body.Bytes(), &eb); err != nil || eb.Error == "" {
+			t.Fatalf("rejection body is not a JSON error object: %s", rr.Body.Bytes())
+		}
+		if n := runtime.NumGoroutine(); n > base+8 {
+			t.Fatalf("goroutines grew from %d to %d — submission path leaked", base, n)
+		}
+	})
+}

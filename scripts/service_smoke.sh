@@ -1,0 +1,86 @@
+#!/usr/bin/env sh
+# Smoke-tests the campaign service end to end against the real binary:
+# starts ctsand on an ephemeral port, submits the same small study
+# twice, and asserts (a) both result streams are byte-identical — the
+# determinism promise over HTTP — (b) the second run is served >= 90%
+# from the content-addressed result cache, and (c) SIGTERM drains the
+# service to a clean exit 0.
+set -eu
+cd "$(dirname "$0")/.."
+
+LOG="$(mktemp)"
+SPEC="$(mktemp)"
+R1="$(mktemp)"
+R2="$(mktemp)"
+PID=""
+cleanup() {
+    [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+    rm -f "$LOG" "$SPEC" "$R1" "$R2"
+}
+trap cleanup EXIT
+
+# Build first so the background process is the real binary, not a
+# compile step racing the address poll below.
+go build -o /tmp/ctsand-smoke ./cmd/ctsand
+
+/tmp/ctsand-smoke -addr 127.0.0.1:0 -workers 2 -max-active 1 2>"$LOG" &
+PID=$!
+
+# The bound port is ephemeral; the daemon logs it on startup.
+ADDR=""
+i=0
+while [ $i -lt 100 ]; do
+    ADDR="$(sed -n 's#.*listening on http://\([^/]*\)/.*#\1#p' "$LOG" | head -n 1)"
+    [ -n "$ADDR" ] && break
+    kill -0 "$PID" 2>/dev/null || { echo "ctsand exited early:" >&2; cat "$LOG" >&2; exit 1; }
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$ADDR" ] || { echo "ctsand never logged its address" >&2; cat "$LOG" >&2; exit 1; }
+echo "campaign service at $ADDR" >&2
+
+cat >"$SPEC" <<'EOF'
+{"v":1,"name":"smoke","points":[
+  {"engine":"san","spec":{"N":3,"Replicas":200}},
+  {"engine":"san","spec":{"N":5,"Replicas":200}},
+  {"engine":"san","spec":{"N":7,"Replicas":100}}]}
+EOF
+
+submit() {
+    curl -sf -X POST --data-binary @"$SPEC" "http://$ADDR/api/v1/studies" |
+        sed -n 's/.*"id":"\([^"]*\)".*/\1/p'
+}
+field() { # field <id> <name>
+    curl -sf "http://$ADDR/api/v1/studies/$1" |
+        sed -n "s/.*\"$2\":\([0-9]*\).*/\1/p"
+}
+
+ID1="$(submit)"
+[ -n "$ID1" ] || { echo "first submission rejected" >&2; exit 1; }
+# The results stream follows the live tail to completion, so this curl
+# returns exactly when the study is done.
+curl -sfN "http://$ADDR/api/v1/studies/$ID1/results" >"$R1"
+
+ID2="$(submit)"
+[ -n "$ID2" ] || { echo "second submission rejected" >&2; exit 1; }
+curl -sfN "http://$ADDR/api/v1/studies/$ID2/results" >"$R2"
+
+cmp "$R1" "$R2" || { echo "warm-cache stream differs from cold-cache stream" >&2; exit 1; }
+[ -s "$R1" ] || { echo "empty result stream" >&2; exit 1; }
+
+POINTS="$(field "$ID2" points)"
+HITS="$(field "$ID2" cache_hits)"
+[ -n "$POINTS" ] && [ -n "$HITS" ] || { echo "status fields missing for $ID2" >&2; exit 1; }
+# The warm run must be served >= 90% from the result cache.
+[ $((HITS * 10)) -ge $((POINTS * 9)) ] || {
+    echo "warm run cache hits $HITS of $POINTS points (< 90%)" >&2
+    exit 1
+}
+
+kill -TERM "$PID"
+RC=0
+wait "$PID" || RC=$?
+PID=""
+[ "$RC" = "0" ] || { echo "graceful shutdown exited $RC" >&2; cat "$LOG" >&2; exit 1; }
+
+echo "service smoke OK: $HITS/$POINTS cache hits on warm run, streams byte-identical, clean drain" >&2
