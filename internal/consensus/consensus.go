@@ -41,32 +41,14 @@ const (
 	MsgDecide   = "ct.decide"
 )
 
-// Estimate is the phase-1 payload.
+// Estimate is the phase-1 message body (a view of the neko.Payload union
+// fields the estimate variant owns). It is kept as a named struct because
+// coordinators buffer estimates per round.
 type Estimate struct {
 	Cid   uint64 // consensus instance
 	Round int
 	Val   int64
 	TS    int // round in which Val was last adopted; 0 initially
-}
-
-// Propose is the phase-2 payload.
-type Propose struct {
-	Cid   uint64
-	Round int
-	Val   int64
-}
-
-// Ack is the phase-3 payload; OK=false is a negative acknowledgment.
-type Ack struct {
-	Cid   uint64
-	Round int
-	OK    bool
-}
-
-// Decide is the decision broadcast payload.
-type Decide struct {
-	Cid uint64
-	Val int64
 }
 
 // Decision describes a local decision event.
@@ -99,6 +81,12 @@ type Engine struct {
 	opts   Options
 	maj    int
 	active map[uint64]*Instance
+	// lastIn short-circuits route's map lookup: sequential campaigns run
+	// one instance at a time, so nearly every ct.* message targets the
+	// same instance as the previous one. Forget and Reset clear it, so a
+	// cached pointer is always an *active* instance and the cid match
+	// cannot alias a recycled record.
+	lastIn *Instance
 	// pending buffers messages for instances not yet started locally
 	// (start-time skew between hosts, §4).
 	pending map[uint64][]neko.Message
@@ -130,10 +118,10 @@ func NewEngine(stack *neko.Stack, det neko.FailureDetector, opts Options) *Engin
 		active:  make(map[uint64]*Instance),
 		pending: make(map[uint64][]neko.Message),
 	}
-	stack.Handle(MsgEstimate, e.route)
-	stack.Handle(MsgPropose, e.route)
-	stack.Handle(MsgAck, e.route)
-	stack.Handle(MsgDecide, e.route)
+	stack.HandleKind(neko.PayloadEstimate, MsgEstimate, e.route)
+	stack.HandleKind(neko.PayloadPropose, MsgPropose, e.route)
+	stack.HandleKind(neko.PayloadAck, MsgAck, e.route)
+	stack.HandleKind(neko.PayloadDecide, MsgDecide, e.route)
 	det.OnChange(e.onFDChange)
 	return e
 }
@@ -162,12 +150,7 @@ func (e *Engine) Propose(cid uint64, val int64, onDecide func(Decision), onAbort
 		e.instFree[n-1] = nil
 		e.instFree = e.instFree[:n-1]
 	} else {
-		in = &Instance{
-			e:       e,
-			estBuf:  make(map[int][]Estimate),
-			ackBuf:  make(map[int]*ackTally),
-			propBuf: make(map[int]int64),
-		}
+		in = &Instance{e: e}
 	}
 	in.cid = cid
 	in.est = val
@@ -192,7 +175,7 @@ func (e *Engine) Propose(cid uint64, val int64, onDecide func(Decision), onAbort
 			if in.gen != gen {
 				break
 			}
-			in.handle(m)
+			in.handle(&m)
 		}
 		e.recycleBuf(buf)
 	}
@@ -212,6 +195,9 @@ func (e *Engine) recycleBuf(buf []neko.Message) {
 func (e *Engine) Forget(cid uint64) {
 	if in, ok := e.active[cid]; ok {
 		delete(e.active, cid)
+		if e.lastIn == in {
+			e.lastIn = nil
+		}
 		in.recycle()
 		e.instFree = append(e.instFree, in)
 	}
@@ -226,6 +212,7 @@ func (e *Engine) Forget(cid uint64) {
 // on a reused cluster. The executor must have been reset first; Reset
 // does not interact with timers or in-flight messages.
 func (e *Engine) Reset() {
+	e.lastIn = nil
 	for cid, in := range e.active {
 		delete(e.active, cid)
 		in.recycle()
@@ -240,9 +227,16 @@ func (e *Engine) Reset() {
 
 // route dispatches a ct.* message to its instance, or buffers it if the
 // instance has not started locally yet.
-func (e *Engine) route(m neko.Message) {
-	cid := cidOf(m)
+func (e *Engine) route(m *neko.Message) {
+	// Every ct.* payload variant carries the instance id in the same union
+	// field — the pre-union type switch devirtualized away.
+	cid := m.Payload.Cid
+	if in := e.lastIn; in != nil && in.cid == cid {
+		in.handle(m)
+		return
+	}
 	if in, ok := e.active[cid]; ok {
+		e.lastIn = in
 		in.handle(m)
 		return
 	}
@@ -258,7 +252,7 @@ func (e *Engine) route(m neko.Message) {
 		}
 	}
 	if len(buf) < 8*e.ctx.N() {
-		buf = append(buf, m)
+		buf = append(buf, *m)
 	}
 	e.pending[cid] = buf
 }
@@ -270,21 +264,6 @@ func (e *Engine) onFDChange(q neko.ProcessID, suspected bool) {
 	}
 	for _, in := range e.active {
 		in.onSuspicion(q)
-	}
-}
-
-func cidOf(m neko.Message) uint64 {
-	switch p := m.Payload.(type) {
-	case Estimate:
-		return p.Cid
-	case Propose:
-		return p.Cid
-	case Ack:
-		return p.Cid
-	case Decide:
-		return p.Cid
-	default:
-		panic(fmt.Sprintf("consensus: unexpected payload %T for %s", m.Payload, m.Type))
 	}
 }
 
@@ -312,34 +291,72 @@ type Instance struct {
 	onAbort  func()
 
 	waitingProposal bool // participant, phase 3 of e.round
-	// Coordinator-side buffers, keyed by round: estimates received,
-	// replies tallied, and whether the proposal was already issued.
-	estBuf   map[int][]Estimate
-	ackBuf   map[int]*ackTally
-	proposed map[int]bool
-	// propBuf holds proposals received for rounds we have not reached.
-	propBuf map[int]int64
-	// estFree/tallyFree recycle the per-round buffers across rounds and
-	// incarnations (decided rounds release theirs back immediately).
-	estFree   [][]Estimate
-	tallyFree []*ackTally
+	// Coordinator-side buffers, indexed by round (1-based; slot 0 unused):
+	// estimates received, replies tallied, whether the proposal was already
+	// issued, and buffered future-round proposals (propSet marks presence).
+	// Rounds are small dense integers, so flat slices replace the
+	// round-keyed maps this used to carry: no hashing on the message hot
+	// path, and recycle rewinds in O(rounds touched) instead of clearing
+	// four maps. The slices (and each round's estimate buffer and tally
+	// record) are retained across incarnations, so steady-state instances
+	// allocate nothing.
+	estBuf   [][]Estimate
+	ackBuf   []*ackTally
+	proposed []bool
+	propBuf  []int64
+	propSet  []bool
+	// hiRound is the highest round index touched since the last recycle.
+	hiRound int
 }
 
-// recycle rewinds the instance to a blank state, returning per-round
-// buffers to its free lists and releasing callback references.
+// touch grows the per-round buffers to cover round r and records it for
+// recycle. Callers must have bounds-checked r (see boundedRound).
+func (in *Instance) touch(r int) {
+	if r > in.hiRound {
+		in.hiRound = r
+	}
+	for len(in.estBuf) <= r {
+		in.estBuf = append(in.estBuf, nil)
+		in.ackBuf = append(in.ackBuf, nil)
+		in.proposed = append(in.proposed, false)
+		in.propBuf = append(in.propBuf, 0)
+		in.propSet = append(in.propSet, false)
+	}
+}
+
+// boundedRound reports whether r is a plausible round number. Wire
+// messages carry attacker-controlled rounds; rejecting implausible ones
+// bounds the round-indexed buffers the way the maps they replaced were
+// bounded by their key count. Rounds beyond MaxRounds can never influence
+// an instance — it aborts before reaching them — so dropping their
+// messages is behavior-preserving. With unlimited rounds a generous
+// absolute cap (far past anything a real run reaches; round recursion is
+// bounded by successive coordinator suspicions) guards the buffers.
+func (in *Instance) boundedRound(r int) bool {
+	if r < 1 {
+		return false
+	}
+	if mr := in.e.opts.MaxRounds; mr > 0 {
+		return r <= mr
+	}
+	return r <= 1<<16
+}
+
+// recycle rewinds the instance to a blank state, rewinding the per-round
+// buffers in place (retaining their storage) and releasing callback
+// references.
 func (in *Instance) recycle() {
 	in.gen++
-	for r, sl := range in.estBuf {
-		delete(in.estBuf, r)
-		in.estFree = append(in.estFree, sl[:0])
+	for r := 1; r <= in.hiRound; r++ {
+		in.estBuf[r] = in.estBuf[r][:0]
+		if t := in.ackBuf[r]; t != nil {
+			*t = ackTally{}
+		}
+		in.proposed[r] = false
+		in.propBuf[r] = 0
+		in.propSet[r] = false
 	}
-	for r, t := range in.ackBuf {
-		delete(in.ackBuf, r)
-		*t = ackTally{}
-		in.tallyFree = append(in.tallyFree, t)
-	}
-	clear(in.proposed)
-	clear(in.propBuf)
+	in.hiRound = 0
 	in.cid = 0
 	in.round = 0
 	in.est = 0
@@ -393,13 +410,14 @@ func (in *Instance) startRound(r int) {
 	in.e.ctx.Send(neko.Message{
 		To:      c,
 		Type:    MsgEstimate,
-		Payload: Estimate{Cid: in.cid, Round: r, Val: in.est, TS: in.ts},
+		Payload: neko.Payload{Kind: neko.PayloadEstimate, Cid: in.cid, Round: r, Val: in.est, TS: in.ts},
 	})
 	// Phase 3: wait for the proposal unless the coordinator is already
 	// suspected (§2.4 class 2: a crashed coordinator is suspected from the
 	// beginning) or its proposal overtook our round start.
-	if v, ok := in.propBuf[r]; ok {
-		delete(in.propBuf, r)
+	if r < len(in.propSet) && in.propSet[r] {
+		v := in.propBuf[r]
+		in.propSet[r] = false
 		in.acceptProposal(r, v, c)
 		return
 	}
@@ -411,15 +429,16 @@ func (in *Instance) startRound(r int) {
 }
 
 // handle processes one inbound message for this instance.
-func (in *Instance) handle(m neko.Message) {
-	switch p := m.Payload.(type) {
-	case Estimate:
-		in.handleEstimate(p)
-	case Propose:
-		in.handlePropose(p, m.From)
-	case Ack:
-		in.handleAck(p)
-	case Decide:
+func (in *Instance) handle(m *neko.Message) {
+	p := m.Payload
+	switch p.Kind {
+	case neko.PayloadEstimate:
+		in.handleEstimate(Estimate{Cid: p.Cid, Round: p.Round, Val: p.Val, TS: p.TS})
+	case neko.PayloadPropose:
+		in.handlePropose(p.Round, p.Val, m.From)
+	case neko.PayloadAck:
+		in.handleAck(p.Round, p.OK)
+	case neko.PayloadDecide:
 		in.deliverDecision(p.Val, 0, true)
 	}
 }
@@ -427,7 +446,7 @@ func (in *Instance) handle(m neko.Message) {
 // handleEstimate buffers a phase-1 estimate and, as coordinator of that
 // round, tries to issue the proposal.
 func (in *Instance) handleEstimate(p Estimate) {
-	if in.decided || in.aborted || in.e.Coordinator(p.Round) != in.e.ctx.ID() {
+	if in.decided || in.aborted || !in.boundedRound(p.Round) || in.e.Coordinator(p.Round) != in.e.ctx.ID() {
 		return
 	}
 	in.addEstimate(p)
@@ -437,20 +456,13 @@ func (in *Instance) addEstimate(p Estimate) {
 	if in.proposedIn(p.Round) {
 		return // proposal already issued; late estimates are irrelevant
 	}
-	sl, ok := in.estBuf[p.Round]
-	if !ok {
-		if n := len(in.estFree); n > 0 {
-			sl = in.estFree[n-1]
-			in.estFree[n-1] = nil
-			in.estFree = in.estFree[:n-1]
-		}
-	}
-	in.estBuf[p.Round] = append(sl, p)
+	in.touch(p.Round)
+	in.estBuf[p.Round] = append(in.estBuf[p.Round], p)
 	in.maybePropose(p.Round)
 }
 
 func (in *Instance) proposedIn(r int) bool {
-	return in.proposed != nil && in.proposed[r]
+	return r < len(in.proposed) && in.proposed[r]
 }
 
 // maybePropose runs phase 2 at the coordinator: with a majority of
@@ -466,14 +478,12 @@ func (in *Instance) maybePropose(r int) {
 			best = e
 		}
 	}
-	if in.proposed == nil {
-		in.proposed = make(map[int]bool)
-	}
 	in.proposed[r] = true
 	in.est = best.Val
 	in.ts = r
-	in.estFree = append(in.estFree, in.estBuf[r][:0])
-	delete(in.estBuf, r)
+	// Rewind the round's estimate buffer in place; proposedIn gates any
+	// late estimate from refilling it.
+	in.estBuf[r] = in.estBuf[r][:0]
 	// The coordinator's own reply is an implicit positive acknowledgment.
 	in.tally(r).oks++
 	if tr := in.e.tr; tr != nil {
@@ -481,25 +491,27 @@ func (in *Instance) maybePropose(r int) {
 	}
 	neko.Broadcast(in.e.ctx, neko.Message{
 		Type:    MsgPropose,
-		Payload: Propose{Cid: in.cid, Round: r, Val: best.Val},
+		Payload: neko.Payload{Kind: neko.PayloadPropose, Cid: in.cid, Round: r, Val: best.Val},
 	})
 	in.maybeConclude(r)
 }
 
 // handlePropose runs phase 3 at a participant.
-func (in *Instance) handlePropose(p Propose, from neko.ProcessID) {
+func (in *Instance) handlePropose(round int, val int64, from neko.ProcessID) {
 	if in.decided || in.aborted {
 		return
 	}
 	switch {
-	case p.Round == in.round && in.waitingProposal:
-		in.acceptProposal(p.Round, p.Val, from)
-	case p.Round > in.round:
+	case round == in.round && in.waitingProposal:
+		in.acceptProposal(round, val, from)
+	case round > in.round && in.boundedRound(round):
 		// The coordinator of a future round gathered a majority without
 		// us; handle the proposal when we reach that round.
-		in.propBuf[p.Round] = p.Val
+		in.touch(round)
+		in.propBuf[round] = val
+		in.propSet[round] = true
 	}
-	// p.Round < in.round: stale — we already nacked and moved on.
+	// round < in.round: stale — we already nacked and moved on.
 }
 
 // acceptProposal adopts the coordinator's value, acks, and proceeds to the
@@ -515,7 +527,7 @@ func (in *Instance) acceptProposal(r int, val int64, c neko.ProcessID) {
 	in.e.ctx.Send(neko.Message{
 		To:      c,
 		Type:    MsgAck,
-		Payload: Ack{Cid: in.cid, Round: r, OK: true},
+		Payload: neko.Payload{Kind: neko.PayloadAck, Cid: in.cid, Round: r, OK: true},
 	})
 	in.startRound(r + 1)
 }
@@ -532,7 +544,7 @@ func (in *Instance) rejectCoordinator(r int, c neko.ProcessID) {
 	in.e.ctx.Send(neko.Message{
 		To:      c,
 		Type:    MsgAck,
-		Payload: Ack{Cid: in.cid, Round: r, OK: false},
+		Payload: neko.Payload{Kind: neko.PayloadAck, Cid: in.cid, Round: r, OK: false},
 	})
 	in.startRound(r + 1)
 }
@@ -549,33 +561,28 @@ func (in *Instance) onSuspicion(q neko.ProcessID) {
 	in.rejectCoordinator(in.round, q)
 }
 
-// handleAck runs phase 4 at the coordinator of round p.Round.
-func (in *Instance) handleAck(p Ack) {
-	if in.decided || in.aborted || in.e.Coordinator(p.Round) != in.e.ctx.ID() {
+// handleAck runs phase 4 at the coordinator of the acked round.
+func (in *Instance) handleAck(round int, ok bool) {
+	if in.decided || in.aborted || !in.boundedRound(round) || in.e.Coordinator(round) != in.e.ctx.ID() {
 		return
 	}
-	t := in.tally(p.Round)
+	t := in.tally(round)
 	if t.evaluated {
 		return
 	}
-	if p.OK {
+	if ok {
 		t.oks++
 	} else {
 		t.nacks++
 	}
-	in.maybeConclude(p.Round)
+	in.maybeConclude(round)
 }
 
 func (in *Instance) tally(r int) *ackTally {
+	in.touch(r)
 	t := in.ackBuf[r]
 	if t == nil {
-		if n := len(in.tallyFree); n > 0 {
-			t = in.tallyFree[n-1]
-			in.tallyFree[n-1] = nil
-			in.tallyFree = in.tallyFree[:n-1]
-		} else {
-			t = &ackTally{}
-		}
+		t = &ackTally{}
 		in.ackBuf[r] = t
 	}
 	return t
@@ -592,7 +599,7 @@ func (in *Instance) maybeConclude(r int) {
 	if t.nacks == 0 {
 		neko.Broadcast(in.e.ctx, neko.Message{
 			Type:    MsgDecide,
-			Payload: Decide{Cid: in.cid, Val: in.est},
+			Payload: neko.Payload{Kind: neko.PayloadDecide, Cid: in.cid, Val: in.est},
 		})
 		in.deliverDecision(in.est, r, false)
 		return
@@ -624,7 +631,7 @@ func (in *Instance) deliverDecision(val int64, round int, relayed bool) {
 	if relayed && in.e.opts.RelayDecide {
 		neko.Broadcast(in.e.ctx, neko.Message{
 			Type:    MsgDecide,
-			Payload: Decide{Cid: in.cid, Val: val},
+			Payload: neko.Payload{Kind: neko.PayloadDecide, Cid: in.cid, Val: val},
 		})
 	}
 	if in.onDecide != nil {

@@ -33,9 +33,6 @@ type probeProto struct {
 
 const msgProbe = "probe"
 
-// probePayload identifies a probe.
-type probePayload struct{ Seq int }
-
 // Start implements neko.Protocol.
 func (p *probeProto) Start() {
 	p.started = true
@@ -49,10 +46,11 @@ func (p *probeProto) emit() {
 	seq := p.sent
 	p.sent++
 	p.sendAt[seq] = p.ctx.Now()
+	pl := neko.Payload{Kind: neko.PayloadProbe, Seq: uint64(seq)}
 	if p.spec.Broadcast {
-		neko.Broadcast(p.ctx, neko.Message{Type: msgProbe, Payload: probePayload{Seq: seq}})
+		neko.Broadcast(p.ctx, neko.Message{Type: msgProbe, Payload: pl})
 	} else {
-		p.ctx.Send(neko.Message{To: 2, Type: msgProbe, Payload: probePayload{Seq: seq}})
+		p.ctx.Send(neko.Message{To: 2, Type: msgProbe, Payload: pl})
 	}
 	p.ctx.SetTimer(p.spec.Spacing, p.emit)
 }
@@ -102,7 +100,7 @@ func MeasureDelaysContext(ctx context.Context, spec DelaySpec) ([]float64, error
 			sender.ctx = stack.Context()
 			stack.AddLayer(sender)
 		}
-		stack.Handle(msgProbe, func(neko.Message) {})
+		stack.HandleKind(neko.PayloadProbe, msgProbe, func(*neko.Message) {})
 		cluster.Attach(id, stack)
 	}
 	// sendAt holds sender-local times while the delivery trace reports
@@ -114,7 +112,7 @@ func MeasureDelaysContext(ctx context.Context, spec DelaySpec) ([]float64, error
 		if m.Type != msgProbe {
 			return
 		}
-		seq := m.Payload.(probePayload).Seq
+		seq := int(m.Payload.Seq)
 		sumDelay[seq] += at + senderOffset - sender.sendAt[seq]
 		gotCount[seq]++
 	})

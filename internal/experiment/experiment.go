@@ -159,8 +159,18 @@ type campaign struct {
 	// instances are forgotten when their execution closes.
 	decideFns []func(consensus.Decision)
 	doneFns   []func()
-	// startFree recycles the per-arm StartAt records (see expStartCall).
+	// startFree recycles the per-arm StartAt records (see expStartCall);
+	// startAll retains every record ever created so runWith can reclaim
+	// the ones stranded in the wiped event queue between campaigns.
+	// wdFree/wdAll likewise for the watchdog records (see expWdCall).
 	startFree []*expStartCall
+	startAll  []*expStartCall
+	wdFree    []*expWdCall
+	wdAll     []*expWdCall
+	// root and clusterRand are retained randomness streams, reseeded in
+	// place per campaign so rewinding constructs nothing.
+	root        rng.Stream
+	clusterRand rng.Stream
 
 	// Current execution state.
 	running  bool
@@ -233,14 +243,14 @@ func (c *campaign) compatibleWith(spec LatencySpec) bool {
 	return reflect.DeepEqual(c.spec.construction(), spec.construction())
 }
 
-// newCampaign validates the spec and assembles the harness. Construction
-// randomness is throwaway: runWith rewinds the cluster from the run
-// spec's seed before executing.
+// newCampaign validates the spec and assembles the harness. No
+// randomness is drawn here (netsim.NewIdle): runWith rewinds the cluster
+// from the run spec's seed before executing.
 func newCampaign(spec LatencySpec) (*campaign, error) {
 	if err := spec.validate(); err != nil {
 		return nil, err
 	}
-	cluster, err := netsim.New(spec.Params, rng.New(0))
+	cluster, err := netsim.NewIdle(spec.Params)
 	if err != nil {
 		return nil, err
 	}
@@ -298,9 +308,42 @@ func (c *campaign) newStartCall(i, k int) *expStartCall {
 	} else {
 		sc = &expStartCall{c: c}
 		sc.runFn = sc.run
+		c.startAll = append(c.startAll, sc)
 	}
 	sc.i, sc.k = i, k
 	return sc
+}
+
+// expWdCall is a pooled per-execution watchdog callback: stale deadline
+// events of executions that closed normally fire as no-ops (closeExec's
+// execIdx guard) and return the record then. The pool stabilizes at
+// roughly Deadline/Gap in-flight records, after which arming watchdogs
+// allocates nothing.
+type expWdCall struct {
+	c     *campaign
+	k     int
+	runFn func()
+}
+
+func (c *campaign) newWdCall(k int) *expWdCall {
+	var w *expWdCall
+	if n := len(c.wdFree); n > 0 {
+		w = c.wdFree[n-1]
+		c.wdFree[n-1] = nil
+		c.wdFree = c.wdFree[:n-1]
+	} else {
+		w = &expWdCall{c: c}
+		w.runFn = w.run
+		c.wdAll = append(c.wdAll, w)
+	}
+	w.k = k
+	return w
+}
+
+func (w *expWdCall) run() {
+	c, k := w.c, w.k
+	c.wdFree = append(c.wdFree, w)
+	c.closeExec(k)
 }
 
 func (sc *expStartCall) run() {
@@ -319,8 +362,14 @@ func (c *campaign) runWith(ctx context.Context, spec LatencySpec, hook func(*cam
 	if err := spec.validate(); err != nil {
 		return err
 	}
-	root := rng.New(spec.Seed ^ 0x5eedc0de)
-	c.cluster.Reset(root.Child(1))
+	c.root.Reseed(spec.Seed ^ 0x5eedc0de)
+	c.root.ChildInto(&c.clusterRand, 1)
+	c.cluster.Reset(&c.clusterRand)
+	// Rebuild the pooled-callback free lists: the wiped event queue
+	// stranded the in-flight start and watchdog records of the previous
+	// campaign.
+	c.startFree = append(c.startFree[:0], c.startAll...)
+	c.wdFree = append(c.wdFree[:0], c.wdAll...)
 	for _, e := range c.engines {
 		if e != nil {
 			e.Reset()
@@ -382,7 +431,7 @@ func (c *campaign) startExec(k int, t0 float64) {
 	// paper's footnote 2 on increasing the separation when latencies
 	// exceeded the 10 ms gap). Scheduled globally so that no crash can
 	// silence it; stale watchdogs are ignored via execIdx.
-	c.cluster.AtGlobal(t0+c.spec.Deadline, func() { c.closeExec(k) })
+	c.cluster.AtGlobal(t0+c.spec.Deadline, c.newWdCall(k).runFn)
 }
 
 // onDecision records a decision event of execution k. Decisions of an

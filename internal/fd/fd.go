@@ -24,14 +24,10 @@ import (
 	"ctsan/internal/trace"
 )
 
-// MsgHeartbeat is the message type of heartbeats on the wire.
+// MsgHeartbeat is the message type of heartbeats on the wire. Heartbeats
+// carry a neko.PayloadHB payload holding only a sequence number (content
+// is otherwise irrelevant, in the spirit of §3: only control matters).
 const MsgHeartbeat = "fd.hb"
-
-// HeartbeatPayload is the (content-free, in the spirit of §3: only control
-// matters) payload of a heartbeat message.
-type HeartbeatPayload struct {
-	Seq uint64
-}
 
 // Heartbeat is the push-style heartbeat failure detector. It is a
 // neko.Protocol layer and implements neko.FailureDetector.
@@ -97,7 +93,7 @@ func NewHeartbeat(stack *neko.Stack, timeoutT, periodTh float64, history *Histor
 		hb.expireFns[q] = func() { hb.expire(q) }
 	}
 	stack.Tap(hb.observe)
-	stack.Handle(MsgHeartbeat, func(neko.Message) {}) // content is irrelevant; the tap did the work
+	stack.HandleKind(neko.PayloadHB, MsgHeartbeat, func(*neko.Message) {}) // content is irrelevant; the tap did the work
 	stack.AddLayer(hb)
 	return hb
 }
@@ -176,7 +172,7 @@ func (hb *Heartbeat) emit() {
 	}
 	neko.Broadcast(hb.ctx, neko.Message{
 		Type:    MsgHeartbeat,
-		Payload: HeartbeatPayload{Seq: hb.seq},
+		Payload: neko.Payload{Kind: neko.PayloadHB, Seq: hb.seq},
 	})
 	if hb.emitTimer != nil {
 		hb.emitTimer.Stop()
@@ -186,17 +182,13 @@ func (hb *Heartbeat) emit() {
 
 // observe is the stack tap: any message from q resets q's timer and clears
 // a standing suspicion (§2.2).
-func (hb *Heartbeat) observe(m neko.Message) {
+func (hb *Heartbeat) observe(m *neko.Message) {
 	if hb.stopped || m.From == hb.ctx.ID() || m.From < 1 || int(m.From) > hb.ctx.N() {
 		return
 	}
 	hb.lastMsg[m.From] = hb.ctx.Now()
-	if hb.tr != nil && m.Type == MsgHeartbeat {
-		seq := int64(0)
-		if p, ok := m.Payload.(HeartbeatPayload); ok {
-			seq = int64(p.Seq)
-		}
-		hb.tr.Emit(trace.Event{T: hb.ctx.Now(), P: int32(hb.ctx.ID()), Q: int32(m.From), Kind: trace.KindHBRecv, A: seq})
+	if hb.tr != nil && m.Payload.Kind == neko.PayloadHB {
+		hb.tr.Emit(trace.Event{T: hb.ctx.Now(), P: int32(hb.ctx.ID()), Q: int32(m.From), Kind: trace.KindHBRecv, A: int64(m.Payload.Seq)})
 	}
 	if hb.suspected[m.From] {
 		hb.suspected[m.From] = false

@@ -25,13 +25,58 @@ type ProcessID int
 // around 100 bytes."
 const DefaultMessageSize = 100
 
-// Message is a protocol message. Payload must be a value type (or pointer
-// to struct) understood by the destination handler; transports that
-// serialize (TCP) require payload types to be registered with encoding/gob.
+// PayloadKind discriminates the Payload union. The protocols crossing the
+// framework form a small closed set (heartbeats, the four Chandra–Toueg
+// message bodies, delay probes), so payloads travel as one flat value
+// instead of a heap-boxed `any` — steady-state message traffic then
+// allocates nothing, and executors can dispatch on the kind without
+// hashing the type string (see Stack.HandleKind).
+type PayloadKind uint8
+
+// Payload kinds. PayloadNone marks content-free messages (pings, test
+// traffic); such messages dispatch by type string alone.
+const (
+	PayloadNone PayloadKind = iota
+	PayloadHB
+	PayloadEstimate
+	PayloadPropose
+	PayloadAck
+	PayloadDecide
+	PayloadProbe
+
+	numPayloadKinds
+)
+
+// Payload is the flat union of every protocol message body. Kind selects
+// the variant; each variant reads the fields it owns and ignores the
+// rest:
+//
+//	PayloadHB:       Seq
+//	PayloadEstimate: Cid, Round, Val, TS
+//	PayloadPropose:  Cid, Round, Val
+//	PayloadAck:      Cid, Round, OK
+//	PayloadDecide:   Cid, Val
+//	PayloadProbe:    Seq
+//
+// The struct is plain comparable data: it crosses gob transports as-is
+// (no Register calls needed) and copies with the Message it rides in.
+type Payload struct {
+	Kind  PayloadKind
+	OK    bool
+	Cid   uint64 // consensus instance
+	Seq   uint64 // heartbeat / probe sequence number
+	Val   int64
+	Round int
+	TS    int
+}
+
+// Message is a protocol message. Payload is a flat value: copying the
+// message copies the payload, so pooled executors recycle message records
+// without pinning heap objects.
 type Message struct {
 	From, To ProcessID
 	Type     string
-	Payload  any
+	Payload  Payload
 	Size     int // bytes on the wire; 0 means DefaultMessageSize
 }
 
@@ -91,7 +136,15 @@ type Stack struct {
 	ctx      Context
 	layers   []Protocol
 	handlers map[string]func(Message)
-	taps     []func(Message)
+	// kinds is the devirtualized fast path: messages carrying a typed
+	// payload dispatch through this array without hashing Type. Entries
+	// are registered by HandleKind alongside the string handler. Kind
+	// handlers and taps receive the message by pointer: the hot dispatch
+	// chain (executor -> tap -> handler -> protocol routing) would
+	// otherwise copy the ~100-byte Message at every hop. The pointee is
+	// only valid for the duration of the call.
+	kinds [numPayloadKinds]func(*Message)
+	taps  []func(*Message)
 }
 
 // NewStack creates an empty stack bound to an execution context.
@@ -115,9 +168,26 @@ func (s *Stack) Handle(msgType string, h func(Message)) {
 	s.handlers[msgType] = h
 }
 
+// HandleKind registers a handler for messages of one payload kind, and —
+// under msgType — for the string-dispatch path as well (transports and
+// tests that look messages up by type see the same handler). Hot
+// executors dispatch on the kind array; the map entry keeps HandledTypes
+// and string-keyed delivery coherent. Duplicate registration of either
+// the kind or the type panics.
+func (s *Stack) HandleKind(k PayloadKind, msgType string, h func(*Message)) {
+	if k == PayloadNone || k >= numPayloadKinds {
+		panic(fmt.Sprintf("neko: HandleKind with invalid payload kind %d", k))
+	}
+	if s.kinds[k] != nil {
+		panic(fmt.Sprintf("neko: duplicate handler for payload kind %d", k))
+	}
+	s.Handle(msgType, func(m Message) { h(&m) })
+	s.kinds[k] = h
+}
+
 // Tap registers an observer invoked for every inbound message, before the
 // type handler.
-func (s *Stack) Tap(fn func(Message)) { s.taps = append(s.taps, fn) }
+func (s *Stack) Tap(fn func(*Message)) { s.taps = append(s.taps, fn) }
 
 // Start starts all layers in registration order.
 func (s *Stack) Start() {
@@ -126,15 +196,26 @@ func (s *Stack) Start() {
 	}
 }
 
-// Dispatch routes an inbound message: taps first, then the type handler.
-// Messages without a handler are dropped silently (a layer may have shut
-// down); executors log them if configured.
-func (s *Stack) Dispatch(m Message) {
+// Dispatch routes an inbound message: taps first, then the handler —
+// through the kind array when the payload carries a registered kind
+// (no string hashing on the hot protocol paths), falling back to the
+// type-string map otherwise. Messages without a handler are dropped
+// silently (a layer may have shut down); executors log them if
+// configured.
+// The message is passed by pointer down the hot path; handlers must not
+// retain it past the call.
+func (s *Stack) Dispatch(m *Message) {
 	for _, tap := range s.taps {
 		tap(m)
 	}
+	if k := m.Payload.Kind; k != PayloadNone {
+		if h := s.kinds[k]; h != nil {
+			h(m)
+			return
+		}
+	}
 	if h, ok := s.handlers[m.Type]; ok {
-		h(m)
+		h(*m)
 	}
 }
 

@@ -49,10 +49,10 @@ func TestStackDispatch(t *testing.T) {
 	ctx := &fakeContext{id: 1, n: 2}
 	s := NewStack(ctx)
 	var tapped, handled []string
-	s.Tap(func(m Message) { tapped = append(tapped, m.Type) })
+	s.Tap(func(m *Message) { tapped = append(tapped, m.Type) })
 	s.Handle("a", func(m Message) { handled = append(handled, m.Type) })
-	s.Dispatch(Message{Type: "a"})
-	s.Dispatch(Message{Type: "unknown"}) // dropped silently, still tapped
+	s.Dispatch(&Message{Type: "a"})
+	s.Dispatch(&Message{Type: "unknown"}) // dropped silently, still tapped
 	if !reflect.DeepEqual(handled, []string{"a"}) {
 		t.Fatalf("handled %v", handled)
 	}
@@ -65,8 +65,8 @@ func TestTapRunsBeforeHandler(t *testing.T) {
 	s := NewStack(&fakeContext{id: 1, n: 2})
 	var order []string
 	s.Handle("m", func(Message) { order = append(order, "handler") })
-	s.Tap(func(Message) { order = append(order, "tap") })
-	s.Dispatch(Message{Type: "m"})
+	s.Tap(func(*Message) { order = append(order, "tap") })
+	s.Dispatch(&Message{Type: "m"})
 	if !reflect.DeepEqual(order, []string{"tap", "handler"}) {
 		t.Fatalf("order %v; the FD tap must observe messages before handlers", order)
 	}

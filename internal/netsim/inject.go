@@ -32,14 +32,73 @@ type linkRule struct {
 	ExtraDelay dist.Dist
 }
 
-// RecoverAt schedules the recovery of a crashed process at global time t:
-// the process resumes receiving messages, and its protocol stack is
-// restarted (heartbeat emission resumes, timers re-arm). Timers armed
-// before the crash stay dead — a crash wipes volatile state. Recovering a
-// process that is not down at t is a no-op.
-func (c *Cluster) RecoverAt(id neko.ProcessID, t float64) {
-	h := c.hostFor(id)
-	c.at(t, func() {
+// injectKind discriminates what a pooled injectCall does when it fires.
+type injectKind uint8
+
+const (
+	injCrash injectKind = iota
+	injRecover
+	injPartition
+	injHeal
+	injLinkSet
+	injLinkClear
+	injPhase
+)
+
+// injectCall is a pooled injection event: scenario timelines recompile
+// onto a reused cluster every replica, so the per-injection closures this
+// replaces were a per-replica allocation source. One record type covers
+// all injection kinds; the fields a kind does not use stay zero.
+type injectCall struct {
+	c        *Cluster
+	kind     injectKind
+	h        *host
+	from, to neko.ProcessID
+	extra    dist.Dist
+	loss     float64
+	assign   []int
+	groups   int64
+	name     string
+	runFn    func()
+}
+
+func (c *Cluster) makeInjectCall() *injectCall {
+	ic := &injectCall{c: c}
+	ic.runFn = ic.run
+	return ic
+}
+
+// inject takes a blank record from the pool, ready for the caller to fill.
+func (c *Cluster) inject(kind injectKind) *injectCall {
+	ic := c.injects.get()
+	ic.kind = kind
+	return ic
+}
+
+func (ic *injectCall) run() {
+	c := ic.c
+	kind, h := ic.kind, ic.h
+	from, to := ic.from, ic.to
+	extra, loss := ic.extra, ic.loss
+	assign, groups := ic.assign, ic.groups
+	name := ic.name
+	// Release before executing, dropping references so the pool pins
+	// nothing (the partition assignment's ownership moves to c.group).
+	ic.h = nil
+	ic.extra = nil
+	ic.assign = nil
+	ic.name = ""
+	c.injects.put(ic)
+	switch kind {
+	case injCrash:
+		if !h.down {
+			h.down = true
+			h.epoch++
+			if c.tracer != nil {
+				c.tracer.Emit(trace.Event{T: c.sim.Now(), P: int32(h.id), Kind: trace.KindCrash})
+			}
+		}
+	case injRecover:
 		if !h.down {
 			return
 		}
@@ -50,7 +109,48 @@ func (c *Cluster) RecoverAt(id neko.ProcessID, t float64) {
 		if h.stack != nil {
 			h.stack.Start()
 		}
-	})
+	case injPartition:
+		c.group = assign
+		if c.tracer != nil {
+			c.tracer.Emit(trace.Event{T: c.sim.Now(), Kind: trace.KindPartition, A: groups})
+		}
+	case injHeal:
+		c.group = nil
+		if c.tracer != nil {
+			c.tracer.Emit(trace.Event{T: c.sim.Now(), Kind: trace.KindHeal})
+		}
+	case injLinkSet:
+		if c.links == nil {
+			c.links = make(map[linkKey]linkRule)
+		}
+		c.links[linkKey{from, to}] = linkRule{Loss: loss, ExtraDelay: extra}
+		if c.tracer != nil {
+			c.tracer.Emit(trace.Event{T: c.sim.Now(), P: int32(from), Q: int32(to), Kind: trace.KindLinkSet, X: loss})
+		}
+	case injLinkClear:
+		delete(c.links, linkKey{from, to})
+		if c.tracer != nil {
+			c.tracer.Emit(trace.Event{T: c.sim.Now(), P: int32(from), Q: int32(to), Kind: trace.KindLinkClear})
+		}
+	case injPhase:
+		if c.tracer != nil {
+			c.tracer.Emit(trace.Event{T: c.sim.Now(), Kind: trace.KindPhase, S: name})
+		}
+		for _, fn := range c.phaseFns {
+			fn(name, c.sim.Now())
+		}
+	}
+}
+
+// RecoverAt schedules the recovery of a crashed process at global time t:
+// the process resumes receiving messages, and its protocol stack is
+// restarted (heartbeat emission resumes, timers re-arm). Timers armed
+// before the crash stay dead — a crash wipes volatile state. Recovering a
+// process that is not down at t is a no-op.
+func (c *Cluster) RecoverAt(id neko.ProcessID, t float64) {
+	ic := c.inject(injRecover)
+	ic.h = c.hostFor(id)
+	c.at(t, ic.runFn)
 }
 
 // PartitionAt schedules a network partition at global time t: from then
@@ -76,12 +176,9 @@ func (c *Cluster) PartitionAt(t float64, groups ...[]neko.ProcessID) error {
 			assign[id] = gi + 1
 		}
 	}
-	c.at(t, func() {
-		c.group = assign
-		if c.tracer != nil {
-			c.tracer.Emit(trace.Event{T: c.sim.Now(), Kind: trace.KindPartition, A: int64(len(groups))})
-		}
-	})
+	ic := c.inject(injPartition)
+	ic.assign, ic.groups = assign, int64(len(groups))
+	c.at(t, ic.runFn)
 	return nil
 }
 
@@ -91,12 +188,7 @@ func (c *Cluster) PartitionAt(t float64, groups ...[]neko.ProcessID) error {
 // across a partition at this abstraction level; protocol-level recovery
 // (heartbeats, retried rounds) is what the scenarios observe.
 func (c *Cluster) HealAt(t float64) {
-	c.at(t, func() {
-		c.group = nil
-		if c.tracer != nil {
-			c.tracer.Emit(trace.Event{T: c.sim.Now(), Kind: trace.KindHeal})
-		}
-	})
+	c.at(t, c.inject(injHeal).runFn)
 }
 
 // partitioned reports whether the current partition separates from → to.
@@ -116,27 +208,18 @@ func (c *Cluster) SetLinkAt(t float64, from, to neko.ProcessID, extra dist.Dist,
 	if loss < 0 || loss > 1 {
 		return fmt.Errorf("netsim: link loss probability %g outside [0,1]", loss)
 	}
-	c.at(t, func() {
-		if c.links == nil {
-			c.links = make(map[linkKey]linkRule)
-		}
-		c.links[linkKey{from, to}] = linkRule{Loss: loss, ExtraDelay: extra}
-		if c.tracer != nil {
-			c.tracer.Emit(trace.Event{T: c.sim.Now(), P: int32(from), Q: int32(to), Kind: trace.KindLinkSet, X: loss})
-		}
-	})
+	ic := c.inject(injLinkSet)
+	ic.from, ic.to, ic.extra, ic.loss = from, to, extra, loss
+	c.at(t, ic.runFn)
 	return nil
 }
 
 // ClearLinkAt schedules the removal of the degradation rule on the
 // directed link from → to at global time t.
 func (c *Cluster) ClearLinkAt(t float64, from, to neko.ProcessID) {
-	c.at(t, func() {
-		delete(c.links, linkKey{from, to})
-		if c.tracer != nil {
-			c.tracer.Emit(trace.Event{T: c.sim.Now(), P: int32(from), Q: int32(to), Kind: trace.KindLinkClear})
-		}
-	})
+	ic := c.inject(injLinkClear)
+	ic.from, ic.to = from, to
+	c.at(t, ic.runFn)
 }
 
 // pauseCall is a pooled PauseAt event: scenario pause storms schedule
@@ -175,14 +258,9 @@ func (c *Cluster) PauseAt(id neko.ProcessID, t, dur float64) {
 // with OnPhase react (the scenario campaign switches workload intensity
 // on them).
 func (c *Cluster) PhaseAt(t float64, name string) {
-	c.at(t, func() {
-		if c.tracer != nil {
-			c.tracer.Emit(trace.Event{T: c.sim.Now(), Kind: trace.KindPhase, S: name})
-		}
-		for _, fn := range c.phaseFns {
-			fn(name, c.sim.Now())
-		}
-	})
+	ic := c.inject(injPhase)
+	ic.name = name
+	c.at(t, ic.runFn)
 }
 
 // OnPhase registers an observer for PhaseAt transitions.

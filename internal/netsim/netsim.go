@@ -180,6 +180,13 @@ type Cluster struct {
 	linkRand *rng.Stream
 	// phaseFns observe PhaseAt transitions (scenario workload hooks).
 	phaseFns []func(name string, at float64)
+	// dmsg is the message being dispatched to a stack. recv copies the
+	// transit payload here after releasing the record (handler sends reuse
+	// it), and hands the stack a pointer into this scratch slot rather
+	// than a stack local — a local's address would escape into the handler
+	// chain and put one allocation back on every delivery. recv only runs
+	// from DES steps, which never nest, so one slot suffices.
+	dmsg neko.Message
 
 	// Record pools for the hot delivery and timer paths. Each record
 	// carries its stage closures, allocated once at record construction,
@@ -190,6 +197,7 @@ type Cluster struct {
 	fires    pool[fireCall]
 	calls    pool[guardedCall]
 	pauses   pool[pauseCall]
+	injects  pool[injectCall]
 }
 
 // pool is a LIFO free list over every record ever created for one
@@ -247,28 +255,46 @@ type host struct {
 // New creates a cluster from params, drawing all randomness from child
 // streams of r. Attach a stack to every process before calling Start.
 func New(params Params, r *rng.Stream) (*Cluster, error) {
+	c, err := build(params)
+	if err != nil {
+		return nil, err
+	}
+	c.seed(r)
+	return c, nil
+}
+
+// NewIdle allocates a cluster without drawing any randomness: every
+// stream is zero-state, no clock offsets or grid phases are sampled, and
+// initially-crashed flags are not yet set. The cluster must be Reset
+// before Start. Harnesses that always rewind from a run seed (the
+// scenario runner, the latency-campaign harness) use it so assembly does
+// no dead stream-derivation work.
+func NewIdle(params Params) (*Cluster, error) { return build(params) }
+
+// build allocates all cluster state — hosts, streams, pools — without
+// consuming randomness; seed (or Reset) draws it.
+func build(params Params) (*Cluster, error) {
 	if params.N < 1 {
 		return nil, fmt.Errorf("netsim: need at least 1 process, got %d", params.N)
 	}
 	def := DefaultParams(params.N)
 	fillDefaults(&params, def)
-	c := &Cluster{params: params, rand: r.Child(0xc1), linkRand: r.Child(0x400)}
+	c := &Cluster{params: params, rand: &rng.Stream{}, linkRand: &rng.Stream{}}
 	c.transits.new = c.makeTransit
 	c.timers.new = c.makeTimer
 	c.fires.new = c.makeFireCall
 	c.calls.new = c.makeGuardedCall
 	c.pauses.new = c.makePauseCall
+	c.injects.new = c.makeInjectCall
 	for i := 0; i < params.N; i++ {
 		id := neko.ProcessID(i + 1)
 		h := &host{
 			c:         c,
 			id:        id,
-			clockOff:  params.ClockSkew.Sample(c.rand),
-			netRand:   r.Child(0x100 + uint64(i)),
-			schedRand: r.Child(0x200 + uint64(i)),
-			pauseRand: r.Child(0x300 + uint64(i)),
+			netRand:   &rng.Stream{},
+			schedRand: &rng.Stream{},
+			pauseRand: &rng.Stream{},
 		}
-		h.gridPhase = h.schedRand.Uniform(0, params.SleepGranularity)
 		h.startStackFn = func() { h.stack.Start() }
 		h.pauseBodyFn = h.pauseBody
 		c.hosts = append(c.hosts, h)
@@ -277,9 +303,28 @@ func New(params Params, r *rng.Stream) (*Cluster, error) {
 		if id < 1 || int(id) > params.N {
 			return nil, fmt.Errorf("netsim: crashed process %d out of range 1..%d", id, params.N)
 		}
-		c.hosts[id-1].down = true
 	}
 	return c, nil
+}
+
+// seed draws every piece of construction randomness from child streams of
+// r — cluster and link streams, per-host clock offsets, scheduler streams
+// and grid phases — and sets the initially-crashed flags. The consumption
+// order is fixed (cluster streams, then hosts in id order) so New and
+// Reset produce bit-identical state from the same r.
+func (c *Cluster) seed(r *rng.Stream) {
+	r.ChildInto(c.rand, 0xc1)
+	r.ChildInto(c.linkRand, 0x400)
+	for i, h := range c.hosts {
+		h.clockOff = c.params.ClockSkew.Sample(c.rand)
+		r.ChildInto(h.netRand, 0x100+uint64(i))
+		r.ChildInto(h.schedRand, 0x200+uint64(i))
+		r.ChildInto(h.pauseRand, 0x300+uint64(i))
+		h.gridPhase = h.schedRand.Uniform(0, c.params.SleepGranularity)
+	}
+	for _, id := range c.params.Crashed {
+		c.hosts[id-1].down = true
+	}
 }
 
 // Reset rewinds the cluster to its initial state — virtual time zero,
@@ -298,8 +343,6 @@ func New(params Params, r *rng.Stream) (*Cluster, error) {
 // Stop. Trace and phase observers are cleared, as on a fresh cluster.
 func (c *Cluster) Reset(r *rng.Stream) {
 	c.sim.Reset()
-	r.ChildInto(c.rand, 0xc1)
-	r.ChildInto(c.linkRand, 0x400)
 	c.delivered = 0
 	c.hubFree = 0
 	c.traceFn = nil
@@ -307,19 +350,12 @@ func (c *Cluster) Reset(r *rng.Stream) {
 	c.group = nil
 	clear(c.links)
 	c.phaseFns = c.phaseFns[:0]
-	for i, h := range c.hosts {
+	for _, h := range c.hosts {
 		h.cpuFree = 0
 		h.down = false
 		h.epoch = 0
-		h.clockOff = c.params.ClockSkew.Sample(c.rand)
-		r.ChildInto(h.netRand, 0x100+uint64(i))
-		r.ChildInto(h.schedRand, 0x200+uint64(i))
-		r.ChildInto(h.pauseRand, 0x300+uint64(i))
-		h.gridPhase = h.schedRand.Uniform(0, c.params.SleepGranularity)
 	}
-	for _, id := range c.params.Crashed {
-		c.hosts[id-1].down = true
-	}
+	c.seed(r)
 	// The wiped event queue held the callbacks of every in-flight pooled
 	// record; reclaim them all, invalidating their outstanding handles
 	// and dropping any retained message payloads.
@@ -342,6 +378,13 @@ func (c *Cluster) Reset(r *rng.Stream) {
 	}
 	c.calls.reclaimAll()
 	c.pauses.reclaimAll()
+	for _, ic := range c.injects.all {
+		ic.h = nil
+		ic.extra = nil
+		ic.assign = nil
+		ic.name = ""
+	}
+	c.injects.reclaimAll()
 }
 
 // fillDefaults replaces nil/zero stochastic fields with defaults.
@@ -491,16 +534,9 @@ func (c *Cluster) StartAt(id neko.ProcessID, localT float64, fn func()) {
 // its timers stop firing and inbound messages are dropped at delivery
 // time. A crashed process may be brought back with RecoverAt.
 func (c *Cluster) CrashAt(id neko.ProcessID, t float64) {
-	h := c.hostFor(id)
-	c.at(t, func() {
-		if !h.down {
-			h.down = true
-			h.epoch++
-			if c.tracer != nil {
-				c.tracer.Emit(trace.Event{T: c.sim.Now(), P: int32(h.id), Kind: trace.KindCrash})
-			}
-		}
-	})
+	ic := c.inject(injCrash)
+	ic.h = c.hostFor(id)
+	c.at(t, ic.runFn)
 }
 
 // at schedules fn at global time t, clamped to now (injection helpers may
@@ -708,22 +744,26 @@ func (t *transit) deliver() {
 // recv runs step 7: the message is received by p_j. The record is
 // released before dispatch so sends triggered by the handler reuse it.
 func (t *transit) recv() {
-	c, dst, m := t.c, t.dst, t.m
+	c, dst := t.c, t.dst
+	c.dmsg = t.m
+	m := &c.dmsg
 	c.releaseTransit(t)
 	if dst.down || dst.stack == nil {
 		if c.tracer != nil {
 			c.tracer.Emit(trace.Event{T: c.sim.Now(), P: int32(m.To), Q: int32(m.From), Kind: trace.KindDrop, B: trace.DropDown, S: m.Type})
 		}
+		c.dmsg = neko.Message{}
 		return
 	}
 	c.delivered++
 	if c.traceFn != nil {
-		c.traceFn(m, c.sim.Now())
+		c.traceFn(*m, c.sim.Now())
 	}
 	if c.tracer != nil {
 		c.tracer.Emit(trace.Event{T: c.sim.Now(), P: int32(m.To), Q: int32(m.From), Kind: trace.KindDeliver, S: m.Type})
 	}
 	dst.stack.Dispatch(m)
+	c.dmsg = neko.Message{}
 }
 
 // simTimer implements neko.TimerHandle. Records are pooled per cluster:

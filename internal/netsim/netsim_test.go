@@ -13,7 +13,7 @@ import (
 // pingStack builds a minimal stack that records deliveries.
 func pingStack(ctx neko.Context, got *[]neko.Message) *neko.Stack {
 	s := neko.NewStack(ctx)
-	s.Tap(func(m neko.Message) { *got = append(*got, m) })
+	s.Tap(func(m *neko.Message) { *got = append(*got, *m) })
 	s.Handle("ping", func(neko.Message) {})
 	return s
 }

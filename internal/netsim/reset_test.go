@@ -240,6 +240,45 @@ func TestSendSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestPayloadSteadyStateAllocs pins the de-boxed payload round-trip: a
+// message carrying a full protocol payload (flat union, no `any` box)
+// through send → hub → kind-indexed dispatch allocates nothing once the
+// pools are warm. This is the contract that lets the consensus and
+// heartbeat engines push typed bodies on every wire message for free.
+func TestPayloadSteadyStateAllocs(t *testing.T) {
+	c, err := New(Params{N: 2}, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got uint64
+	stack := neko.NewStack(c.Context(2))
+	stack.HandleKind(neko.PayloadEstimate, "est", func(m *neko.Message) {
+		got += m.Payload.Seq + uint64(m.Payload.Round) + uint64(m.Payload.Val)
+	})
+	c.Attach(2, stack)
+	c.Start()
+	ctx := c.Context(1)
+	send := func(i uint64) {
+		ctx.Send(neko.Message{To: 2, Type: "est", Payload: neko.Payload{
+			Kind: neko.PayloadEstimate, Cid: i, Seq: i, Round: 3, Val: int64(i), TS: 1,
+		}})
+		c.Run(nil)
+	}
+	for i := uint64(0); i < 64; i++ { // warm the pools
+		send(i)
+	}
+	i := uint64(64)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		send(i)
+		i++
+	}); allocs > 0 {
+		t.Fatalf("steady-state payload round-trip allocates %.1f objects/op, want 0", allocs)
+	}
+	if got == 0 {
+		t.Fatal("payloads were not delivered")
+	}
+}
+
 // TestTimerStaleStopAfterReset: the Reset contract says outstanding
 // handles die wholesale; a defensive Stop on one must at least not
 // disturb the reused cluster (it is a documented misuse, but the

@@ -15,24 +15,12 @@
 package realnet
 
 import (
-	"encoding/gob"
 	"fmt"
 	"sync"
 	"time"
 
-	"ctsan/internal/consensus"
-	"ctsan/internal/fd"
 	"ctsan/internal/neko"
 )
-
-func init() {
-	// Payload types crossing the TCP transport.
-	gob.Register(consensus.Estimate{})
-	gob.Register(consensus.Propose{})
-	gob.Register(consensus.Ack{})
-	gob.Register(consensus.Decide{})
-	gob.Register(fd.HeartbeatPayload{})
-}
 
 // Transport delivers messages between processes. Implementations must be
 // safe for concurrent Send calls.
@@ -119,7 +107,7 @@ func (p *Proc) post(fn func()) {
 func (p *Proc) Deliver(m neko.Message) {
 	p.post(func() {
 		if p.stack != nil {
-			p.stack.Dispatch(m)
+			p.stack.Dispatch(&m)
 		}
 	})
 }

@@ -119,18 +119,14 @@ func TestTCPNodeRoundtrip(t *testing.T) {
 	if err := a.Connect(2, b.Addr()); err != nil {
 		t.Fatal(err)
 	}
-	want := neko.Message{From: 1, To: 2, Type: "ct.ack", Payload: consensus.Ack{Cid: 7, Round: 3, OK: true}, Size: 64}
+	want := neko.Message{From: 1, To: 2, Type: "ct.ack", Payload: neko.Payload{Kind: neko.PayloadAck, Cid: 7, Round: 3, OK: true}, Size: 64}
 	if err := a.Send(want); err != nil {
 		t.Fatal(err)
 	}
 	select {
 	case m := <-got:
-		if m.From != 1 || m.To != 2 || m.Type != "ct.ack" || m.Size != 64 {
-			t.Fatalf("envelope mismatch: %+v", m)
-		}
-		ack, ok := m.Payload.(consensus.Ack)
-		if !ok || ack.Cid != 7 || ack.Round != 3 || !ack.OK {
-			t.Fatalf("payload mismatch: %+v", m.Payload)
+		if m != want {
+			t.Fatalf("message mismatch: got %+v, want %+v", m, want)
 		}
 	case <-time.After(2 * time.Second):
 		t.Fatal("message not delivered")

@@ -44,11 +44,12 @@ func (m *InProcMesh) Send(msg neko.Message) error {
 // Close implements Transport.
 func (m *InProcMesh) Close() error { return nil }
 
-// wireMessage is the gob envelope on TCP connections.
+// wireMessage is the gob envelope on TCP connections. Payload is the flat
+// neko.Payload union, so no gob.Register calls are needed.
 type wireMessage struct {
 	From, To neko.ProcessID
 	Type     string
-	Payload  any
+	Payload  neko.Payload
 	Size     int
 }
 

@@ -2,7 +2,6 @@ package scenario
 
 import (
 	"math"
-	"sort"
 
 	"ctsan/internal/neko"
 	"ctsan/internal/netsim"
@@ -31,45 +30,89 @@ type phasePoint struct {
 	label string
 }
 
+// resolvedEvent is one scenario event with its resolved instant and its
+// dedicated randomness stream. The stream is held by value so successive
+// compilations rewind it in place (rng.ChildInto) instead of allocating.
+type resolvedEvent struct {
+	ev Event
+	at float64
+	r  rng.Stream
+}
+
+// program is a scenario compiled once per replica assembly: the timeline
+// and every compilation buffer live as long as the replica, and
+// compileInto rewinds them per run. The per-run work — jitter draws,
+// ground truth, event scheduling — still happens every run (instants
+// depend on the replica seed), but against retained storage, so
+// steady-state recompilation allocates nothing.
+type program struct {
+	tl    Timeline
+	res   []resolvedEvent
+	order []int
+	hosts []neko.ProcessID
+}
+
 // compile resolves drawn instants and schedules every event of s against
-// c. Randomness comes from per-event child streams of r (event i draws
-// from r.Child(i)), so adding draws to one event never perturbs another,
-// and compilation is deterministic in r for any event order. Validate
-// must have passed.
+// c, returning a freshly allocated timeline (tests and one-shot callers;
+// the runner uses compileInto with a retained program).
 func (s *Scenario) compile(c *netsim.Cluster, r *rng.Stream) (*Timeline, error) {
-	tl := &Timeline{
-		down:   make(map[neko.ProcessID][]interval),
-		phases: []phasePoint{{at: 0, gap: s.Gap, label: "base"}},
+	var p program
+	if err := s.compileInto(&p, c, r); err != nil {
+		return nil, err
 	}
-	for _, p := range s.InitialCrashed {
-		tl.down[p] = append(tl.down[p], interval{0, math.Inf(1)})
+	return &p.tl, nil
+}
+
+// compileInto resolves drawn instants and schedules every event of s
+// against c, rewinding and reusing p's buffers. Randomness comes from
+// per-event child streams of r (event i draws from r.Child(i)), so adding
+// draws to one event never perturbs another, and compilation is
+// deterministic in r for any event order. Validate must have passed.
+func (s *Scenario) compileInto(p *program, c *netsim.Cluster, r *rng.Stream) error {
+	tl := &p.tl
+	if tl.down == nil {
+		tl.down = make(map[neko.ProcessID][]interval)
 	}
-	// First pass: resolve instants and record ground truth.
-	type resolved struct {
-		ev Event
-		at float64
-		r  *rng.Stream
+	for pid, ivs := range tl.down {
+		tl.down[pid] = ivs[:0]
 	}
-	res := make([]resolved, len(s.Events))
+	tl.phases = append(tl.phases[:0], phasePoint{at: 0, gap: s.Gap, label: "base"})
+	for _, pid := range s.InitialCrashed {
+		tl.down[pid] = append(tl.down[pid], interval{0, math.Inf(1)})
+	}
+	// First pass: resolve instants and per-event streams into the
+	// retained buffer.
+	if cap(p.res) < len(s.Events) {
+		p.res = make([]resolvedEvent, len(s.Events))
+		p.order = make([]int, len(s.Events))
+	}
+	p.res = p.res[:len(s.Events)]
+	p.order = p.order[:len(s.Events)]
 	for i, e := range s.Events {
-		er := r.Child(uint64(i))
+		rv := &p.res[i]
+		rv.ev = e
+		r.ChildInto(&rv.r, uint64(i))
 		at := e.At
 		if e.AtJitter != nil {
-			at += e.AtJitter.Sample(er)
+			at += e.AtJitter.Sample(&rv.r)
 			if at < 0 {
 				at = 0
 			}
 		}
-		res[i] = resolved{ev: e, at: at, r: er}
+		rv.at = at
+		p.order[i] = i
 	}
-	// Crash/recover ground truth needs chronological pairing.
-	order := make([]int, len(res))
-	for i := range order {
-		order[i] = i
+	// Crash/recover ground truth needs chronological pairing. Insertion
+	// sort is stable, so it yields the same permutation as the
+	// sort.SliceStable it replaces, without the closure allocation.
+	order := p.order
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && p.res[order[j]].at < p.res[order[j-1]].at; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
 	}
-	sort.SliceStable(order, func(a, b int) bool { return res[order[a]].at < res[order[b]].at })
 	for _, i := range order {
-		e, at := res[i].ev, res[i].at
+		e, at := p.res[i].ev, p.res[i].at
 		switch e.Kind {
 		case KindCrash:
 			ivs := tl.down[e.P]
@@ -82,14 +125,17 @@ func (s *Scenario) compile(c *netsim.Cluster, r *rng.Stream) (*Timeline, error) 
 				ivs[len(ivs)-1].to = at
 			}
 		case KindWorkload:
+			// Appended in chronological order (this loop follows order), so
+			// phases end up sorted with the base point first — the stable
+			// re-sort the pre-program code did here was an identity.
 			tl.phases = append(tl.phases, phasePoint{at: at, gap: e.Gap, label: e.Label})
 		}
 	}
-	sort.SliceStable(tl.phases, func(a, b int) bool { return tl.phases[a].at < tl.phases[b].at })
 
 	// Second pass: schedule cluster events (original order; instants do
 	// the sequencing).
-	for _, rv := range res {
+	for i := range p.res {
+		rv := &p.res[i]
 		e, at := rv.ev, rv.at
 		switch e.Kind {
 		case KindCrash:
@@ -98,7 +144,7 @@ func (s *Scenario) compile(c *netsim.Cluster, r *rng.Stream) (*Timeline, error) 
 			c.RecoverAt(e.P, at)
 		case KindPartition:
 			if err := c.PartitionAt(at, e.Groups...); err != nil {
-				return nil, err
+				return err
 			}
 		case KindHeal:
 			c.HealAt(at)
@@ -109,7 +155,7 @@ func (s *Scenario) compile(c *netsim.Cluster, r *rng.Stream) (*Timeline, error) 
 				continue
 			}
 			if err := c.SetLinkAt(at, e.From, e.To, e.Extra, e.Loss); err != nil {
-				return nil, err
+				return err
 			}
 			if e.Until > 0 {
 				c.ClearLinkAt(e.Until, e.From, e.To)
@@ -117,23 +163,24 @@ func (s *Scenario) compile(c *netsim.Cluster, r *rng.Stream) (*Timeline, error) 
 		case KindLinkClear:
 			c.ClearLinkAt(at, e.From, e.To)
 		case KindPauseStorm:
-			hosts := []neko.ProcessID{e.P}
+			hosts := append(p.hosts[:0], e.P)
 			if e.P == 0 {
 				hosts = hosts[:0]
-				for p := neko.ProcessID(1); int(p) <= s.N; p++ {
-					hosts = append(hosts, p)
+				for q := neko.ProcessID(1); int(q) <= s.N; q++ {
+					hosts = append(hosts, q)
 				}
 			}
-			for _, p := range hosts {
-				for t := at + e.Every.Sample(rv.r); t < e.Until; t += e.Every.Sample(rv.r) {
-					c.PauseAt(p, t, e.Dur.Sample(rv.r))
+			for _, q := range hosts {
+				for t := at + e.Every.Sample(&rv.r); t < e.Until; t += e.Every.Sample(&rv.r) {
+					c.PauseAt(q, t, e.Dur.Sample(&rv.r))
 				}
 			}
+			p.hosts = hosts[:0]
 		case KindWorkload:
 			c.PhaseAt(at, e.Label)
 		}
 	}
-	return tl, nil
+	return nil
 }
 
 // UpAt reports whether process p is up (not crashed) at global time t.

@@ -103,8 +103,21 @@ type replica struct {
 	decideFns []func(consensus.Decision)
 	doneFns   []func()
 	phaseFn   func(name string, at float64)
-	// startFree recycles the per-arm StartAt records (see startCall).
+	// startFree recycles the per-arm StartAt records (see startCall);
+	// startAll retains every record ever created so run can reclaim the
+	// ones stranded in the wiped event queue between runs. wdFree/wdAll
+	// likewise for the per-execution watchdog records (see wdCall).
 	startFree []*startCall
+	startAll  []*startCall
+	wdFree    []*wdCall
+	wdAll     []*wdCall
+	// root, clusterRand and injRand are the replica's retained randomness
+	// streams, reseeded in place per run; prog is the retained compiled
+	// timeline. Both exist so run constructs nothing.
+	root        rng.Stream
+	clusterRand rng.Stream
+	injRand     rng.Stream
+	prog        program
 
 	// Per-run state.
 	tl       *Timeline
@@ -133,10 +146,9 @@ func Run(s *Scenario, cfg RunConfig) (*Result, error) {
 }
 
 // newReplica validates the scenario, applies config defaults, and builds
-// the cluster + protocol assembly. The construction randomness drawn
-// here is throwaway: run always rewinds the cluster from the replica
-// seed before executing, so fresh and reused replicas take the same
-// path.
+// the cluster + protocol assembly. No randomness is drawn here
+// (netsim.NewIdle): run always rewinds the cluster from the replica seed
+// before executing, so fresh and reused replicas take the same path.
 func newReplica(s *Scenario, cfg RunConfig) (*replica, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -165,7 +177,7 @@ func newReplica(s *Scenario, cfg RunConfig) (*replica, error) {
 	if s.PauseDur != nil {
 		params.PauseDur = s.PauseDur
 	}
-	cluster, err := netsim.New(params, rng.New(0))
+	cluster, err := netsim.NewIdle(params)
 	if err != nil {
 		return nil, err
 	}
@@ -222,6 +234,7 @@ func (r *replica) newStartCall(i, k int) *startCall {
 	} else {
 		sc = &startCall{r: r}
 		sc.runFn = sc.run
+		r.startAll = append(r.startAll, sc)
 	}
 	sc.i, sc.k = i, k
 	return sc
@@ -236,14 +249,52 @@ func (sc *startCall) run() {
 	r.engines[i].Propose(uint64(k), int64(i), r.decideFns[i], r.doneFns[i])
 }
 
+// wdCall is a pooled per-execution watchdog callback: the deadline event
+// of an execution that closed normally fires late as a stale no-op
+// (closeExec's execIdx guard), returning the record then. The pool
+// stabilizes at roughly Deadline/Gap in-flight records, after which
+// arming watchdogs allocates nothing.
+type wdCall struct {
+	r     *replica
+	k     int
+	runFn func()
+}
+
+func (r *replica) newWdCall(k int) *wdCall {
+	var w *wdCall
+	if n := len(r.wdFree); n > 0 {
+		w = r.wdFree[n-1]
+		r.wdFree[n-1] = nil
+		r.wdFree = r.wdFree[:n-1]
+	} else {
+		w = &wdCall{r: r}
+		w.runFn = w.run
+		r.wdAll = append(r.wdAll, w)
+	}
+	w.k = k
+	return w
+}
+
+func (w *wdCall) run() {
+	r, k := w.r, w.k
+	r.wdFree = append(r.wdFree, w)
+	r.closeExec(k)
+}
+
 // run rewinds the whole assembly to the given replica seed and executes
 // the scenario once. The rewind reproduces construction exactly —
 // cluster randomness, timeline compilation, protocol state — so a reused
 // replica is bit-identical to a freshly built one (pinned by
 // TestRunReuseMatchesFresh).
 func (r *replica) run(seed uint64) (*Result, error) {
-	root := rng.New(seed ^ 0x5ce7a51ed)
-	r.cluster.Reset(root.Child(1))
+	r.root.Reseed(seed ^ 0x5ce7a51ed)
+	r.root.ChildInto(&r.clusterRand, 1)
+	r.cluster.Reset(&r.clusterRand)
+	// The wiped event queue stranded the in-flight start and watchdog
+	// records of the previous run; rebuild the free lists from the
+	// retained full sets (the netsim reclaimAll treatment).
+	r.startFree = append(r.startFree[:0], r.startAll...)
+	r.wdFree = append(r.wdFree[:0], r.wdAll...)
 	for _, e := range r.engines {
 		if e != nil {
 			e.Reset()
@@ -276,11 +327,11 @@ func (r *replica) run(seed uint64) (*Result, error) {
 		}
 	}
 
-	tl, err := r.s.compile(r.cluster, root.Child(2))
-	if err != nil {
+	r.root.ChildInto(&r.injRand, 2)
+	if err := r.s.compileInto(&r.prog, r.cluster, &r.injRand); err != nil {
 		return nil, err
 	}
-	r.tl = tl
+	r.tl = &r.prog.tl
 	// Workload phases arrive through the cluster's phase hook, so the gap
 	// switch happens at the injected instant of simulated time.
 	r.cluster.OnPhase(r.phaseFn)
@@ -302,7 +353,7 @@ func (r *replica) run(seed uint64) (*Result, error) {
 	for _, e := range r.history.Events() {
 		if e.Suspected {
 			r.res.Suspicions++
-			if tl.UpAt(e.Q, e.At) {
+			if r.tl.UpAt(e.Q, e.At) {
 				r.res.WrongSuspicions++
 				if r.cfg.Tracer != nil {
 					r.res.Wrong = append(r.res.Wrong, WrongSuspicion{P: e.P, Q: e.Q, At: e.At})
@@ -341,10 +392,10 @@ func (r *replica) startExec(k int, t0 float64) {
 	// Watchdog: mid-run crashes, partitions, and catastrophic suspicion
 	// storms must not hang the campaign. Scheduled globally so no host
 	// state can silence it.
-	r.cluster.AtGlobal(t0+r.cfg.Deadline, func() { r.closeExec(k) })
+	r.cluster.AtGlobal(t0+r.cfg.Deadline, r.newWdCall(k).runFn)
 	if r.upCount == 0 {
 		// Nobody can propose; close via the watchdog path immediately.
-		r.cluster.AtGlobal(t0, func() { r.closeExec(k) })
+		r.cluster.AtGlobal(t0, r.newWdCall(k).runFn)
 	}
 }
 

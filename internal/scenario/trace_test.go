@@ -48,6 +48,49 @@ func TestTracedRunWorkersInvariant(t *testing.T) {
 	}
 }
 
+// TestAllScenariosTracedWorkersDifferential is the full-registry
+// differential for the de-boxed/pooled hot path: every registered
+// scenario, run with a tracer attached, must produce byte-identical
+// JSONL traces and identical results at 1, 2, and 8 workers. This is the
+// widest net for recycling bugs — typed payload slots, pooled watchdog
+// records, and the once-per-assembly compiled timeline are all shared
+// across the executions a worker processes, so any state leaking through
+// Reset shows up as a worker-count-dependent divergence in some
+// scenario's trace.
+func TestAllScenariosTracedWorkersDifferential(t *testing.T) {
+	for _, name := range Names() {
+		s, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := TraceSpec{Scenario: s, Replicas: 3, Executions: 20, Seed: 9, Workers: 1}
+		want := traceBytes(t, spec)
+		if len(want) == 0 {
+			t.Fatalf("%s: empty trace", name)
+		}
+		wantReps, err := RunTraced(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 8} {
+			spec.Workers = workers
+			if got := traceBytes(t, spec); !bytes.Equal(got, want) {
+				t.Fatalf("%s: trace differs between workers=1 and workers=%d", name, workers)
+			}
+			gotReps, err := RunTraced(context.Background(), spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range gotReps {
+				if !reflect.DeepEqual(gotReps[i].Result.Digest, wantReps[i].Result.Digest) {
+					t.Fatalf("%s replica %d: digest differs between workers=1 and workers=%d",
+						name, gotReps[i].Replica, workers)
+				}
+			}
+		}
+	}
+}
+
 // TestTracedMatchesUntracedResults pins the zero-perturbation contract:
 // attaching a tracer must not change the replica's results in any way —
 // same digest, QoS, suspicion counts, event counts — because tracing
