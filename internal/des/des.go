@@ -173,11 +173,28 @@ func (s *Sim) push(e entry) {
 	}
 }
 
+// maxVB caps virtual-bucket indices so an extreme event time (or a tiny
+// adapted width) cannot overflow the float64→int64 conversion, which
+// would yield a negative index and break both the curVB invariant and
+// locate's best >= 0 fallback. Clamped entries all share one bucket,
+// where the (time, seq) sort keeps them correctly ordered.
+const maxVB = int64(1) << 62
+
+// vbucket maps an event time to its virtual bucket under the current
+// width, clamped to maxVB.
+func (s *Sim) vbucket(t float64) int64 {
+	v := t * s.invWidth
+	if v >= float64(maxVB) {
+		return maxVB
+	}
+	return int64(v)
+}
+
 // insert places e into its bucket, keeping the bucket sorted by
 // (time, seq). Buckets hold a handful of entries, so the insertion scan
 // is short; a new entry usually belongs at the back of its bucket.
 func (s *Sim) insert(e entry) {
-	e.vb = int64(e.time * s.invWidth)
+	e.vb = s.vbucket(e.time)
 	e.ev.vb = e.vb
 	b := &s.buckets[int(e.vb&s.mask)]
 	bb := append(*b, e)
@@ -241,9 +258,8 @@ func (s *Sim) locate() (int64, bool) {
 }
 
 // rebucket refiles every live entry under a new ring size and/or bucket
-// width. Stale entries are dropped on the way. The surfacing order of
-// live events is a function of (time, seq) alone, so rebucketing never
-// affects simulation results.
+// width. The surfacing order of live events is a function of (time, seq)
+// alone, so rebucketing never affects simulation results.
 func (s *Sim) rebucket(nb int, width float64) {
 	s.scratch = s.scratch[:0]
 	for i := range s.buckets {
@@ -259,6 +275,13 @@ func (s *Sim) rebucket(nb int, width float64) {
 		s.mask = int64(nb - 1)
 	}
 	s.width, s.invWidth = width, 1/width
+	// A width change redefines the virtual-bucket units, so the scan
+	// cursor must be rebased too: every live entry has time >= now, so
+	// vbucket(now) restores the vb >= curVB invariant. Leaving the old
+	// cursor in place after a width increase would let locate's fast path
+	// exact-match a far-future entry whose shrunken vb lands inside
+	// [curVB, curVB+ring) and fire it early.
+	s.curVB = s.vbucket(s.now)
 	for _, e := range s.scratch {
 		s.insert(e)
 	}

@@ -195,6 +195,62 @@ func TestRandomScheduleProperty(t *testing.T) {
 	}
 }
 
+// TestRewidthFarFutureOrdering schedules a far-future straggler behind a
+// dense event chain that drives the width adaptation. After the rewidth
+// the straggler's recomputed virtual bucket lands just above where the
+// (rebased) scan cursor sits; with a stale cursor in old-width units,
+// locate's fast path would exact-match it and fire it before the rest of
+// the chain, rewinding the clock.
+func TestRewidthFarFutureOrdering(t *testing.T) {
+	var s Sim
+	var fired []float64
+	// 10ms chain: after rewidthPeriod pops the mean gap (10) has drifted
+	// a factor >2 from the initial width (1), so the width adapts to 20.
+	n := 0
+	var tick func()
+	tick = func() {
+		fired = append(fired, s.Now())
+		if n++; n < rewidthPeriod+64 {
+			s.After(10, tick)
+		}
+	}
+	s.After(10, tick)
+	// Straggler chosen so its width-20 virtual bucket (40965) falls inside
+	// one ring span of the chain's old-width cursor at the rewidth pop
+	// (t=40960, old vb 40960).
+	const far = 819300
+	s.At(far, func() { fired = append(fired, s.Now()) })
+	s.Run(nil)
+	if !sort.Float64sAreSorted(fired) {
+		t.Fatalf("events fired out of time order across rewidth")
+	}
+	if len(fired) == 0 || fired[len(fired)-1] != far {
+		t.Fatalf("far-future event did not fire last: tail %v", fired[len(fired)-1])
+	}
+	if s.Now() != far {
+		t.Fatalf("final time %v, want %v", s.Now(), float64(far))
+	}
+}
+
+// TestHugeTimeOrdering: event times large enough to overflow the
+// float64→int64 virtual-bucket conversion are clamped, not wrapped to a
+// negative index that locate would treat as "no live events".
+func TestHugeTimeOrdering(t *testing.T) {
+	var s Sim
+	var fired []float64
+	for _, tt := range []float64{1, 1e19, 9.5e18, 2} {
+		tt := tt
+		s.At(tt, func() { fired = append(fired, tt) })
+	}
+	s.Run(nil)
+	if len(fired) != 4 || !sort.Float64sAreSorted(fired) {
+		t.Fatalf("huge-time events mishandled: %v", fired)
+	}
+	if s.Now() != 1e19 {
+		t.Fatalf("final time %v", s.Now())
+	}
+}
+
 func TestSteps(t *testing.T) {
 	var s Sim
 	for i := 0; i < 5; i++ {
