@@ -1,0 +1,38 @@
+package campaign_test
+
+import (
+	"testing"
+
+	"ctsan/campaign"
+)
+
+// discard is a sink that drops every result, so the benchmark measures
+// the campaign + SAN-engine path, not result retention.
+type discard struct{}
+
+func (discard) Emit(*campaign.Result) error { return nil }
+func (discard) Close() error                { return nil }
+
+// BenchmarkSANCampaignSerial is the committed perf baseline of the SAN
+// campaign path (scripts/bench_emulation.sh → BENCH_emulation.json): a
+// small transient study on the serial reference path, covering the point
+// fan-out, the calendar-queue simulator, and the streaming digest — so a
+// regression in the SAN engine (ROADMAP item 5's calendar-queue
+// follow-up) trips the same drift gate as the emulation path.
+func BenchmarkSANCampaignSerial(b *testing.B) {
+	study := campaign.NewStudy("bench-san",
+		campaign.SANPoint{N: 3, Replicas: 40},
+		campaign.SANPoint{N: 5, Replicas: 40},
+	)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := campaign.Run(bg, study,
+			campaign.WithSeed(uint64(i)+1),
+			campaign.WithWorkers(1),
+			campaign.WithSink(discard{}),
+		); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

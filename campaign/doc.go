@@ -106,6 +106,16 @@
 // records implements PointCache, and a streaming Sink fans results to
 // any number of live subscribers.
 //
+// The same pieces compose once more into fleet dispatch: the service
+// coordinates studies submitted with ?mode=fleet by leasing contiguous
+// frozen-grid ranges to pulling `ctsan worker` processes, which
+// execute them via RunShardRange and upload the checkpoint records.
+// VerifyShardRecord is the coordinator's acceptance check — CRC plus
+// the PointHash its own freeze derived for the index — and the fold is
+// the same grid-index order as MergeShardRecords, so a fleet of any
+// size (surviving any number of worker crashes via lease expiry)
+// streams bytes identical to one in-process Run.
+//
 // # Observability
 //
 // Campaign execution is observable without touching determinism.

@@ -165,6 +165,26 @@ func StudyPointHashes(s *Study) ([]string, error) {
 	return hashes, nil
 }
 
+// VerifyShardRecord decodes one checkpoint line and verifies it belongs
+// to the study whose per-index point hashes are given: envelope shape and
+// CRC (DecodeShardRecord), grid index in range, and PointHash match at
+// that index. It is the per-record acceptance check of everything that
+// ingests records produced elsewhere — resume, merge, and the fleet
+// coordinator verifying worker uploads.
+func VerifyShardRecord(hashes []string, line []byte) (*ShardRecord, error) {
+	rec, err := DecodeShardRecord(line)
+	if err != nil {
+		return nil, err
+	}
+	if rec.Index < 0 || rec.Index >= len(hashes) {
+		return nil, fmt.Errorf("campaign: shard record index %d outside study of %d points", rec.Index, len(hashes))
+	}
+	if hashes[rec.Index] != rec.PointHash {
+		return nil, fmt.Errorf("campaign: shard record at index %d carries hash %s, study expects %s", rec.Index, rec.PointHash, hashes[rec.Index])
+	}
+	return rec, nil
+}
+
 // siftRecords decodes checkpoint lines and keeps the first valid record
 // per in-range point whose hash matches the study's point at that index.
 // Invalid lines (CRC failures, foreign versions), out-of-range indices,
@@ -173,12 +193,8 @@ func StudyPointHashes(s *Study) ([]string, error) {
 func siftRecords(hashes []string, lines [][]byte) (byIndex map[int]*ShardRecord, skipped int) {
 	byIndex = make(map[int]*ShardRecord)
 	for _, line := range lines {
-		rec, err := DecodeShardRecord(line)
+		rec, err := VerifyShardRecord(hashes, line)
 		if err != nil {
-			skipped++
-			continue
-		}
-		if rec.Index < 0 || rec.Index >= len(hashes) || hashes[rec.Index] != rec.PointHash {
 			skipped++
 			continue
 		}

@@ -1,0 +1,240 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ctsan/internal/server"
+)
+
+// fleetHarness is a live campaign service plus helpers for driving real
+// `ctsan worker` subprocesses (via the CTSAN_EXEC re-exec seam) against
+// it over localhost HTTP.
+type fleetHarness struct {
+	srv *server.Server
+	ts  *httptest.Server
+}
+
+func newFleetHarness(t *testing.T, cfg server.Config) *fleetHarness {
+	t.Helper()
+	srv := server.New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return &fleetHarness{srv: srv, ts: ts}
+}
+
+// submitFleet posts the test study under ?mode=fleet&seed=21 and
+// returns its ID.
+func (h *fleetHarness) submitFleet(t *testing.T) string {
+	t.Helper()
+	spec, err := os.ReadFile(writeSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(h.ts.URL+"/api/v1/studies?mode=fleet&seed=21", "application/json", bytes.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d (%s)", resp.StatusCode, body)
+	}
+	var st server.Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	return st.ID
+}
+
+func (h *fleetHarness) status(t *testing.T, id string) server.Status {
+	t.Helper()
+	resp, err := http.Get(h.ts.URL + "/api/v1/studies/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st server.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// stream fetches the full results JSONL; it blocks until the study is
+// terminal.
+func (h *fleetHarness) stream(t *testing.T, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(h.ts.URL + "/api/v1/studies/" + id + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// syncBuffer guards a worker's captured log: exec's pipe-copier
+// goroutine writes while tests poll String mid-run.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// startWorker launches this test binary as a real `ctsan worker`
+// subprocess pinned to the study.
+func (h *fleetHarness) startWorker(t *testing.T, id, name string, extra ...string) (*exec.Cmd, *syncBuffer) {
+	t.Helper()
+	self, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := append([]string{"worker",
+		"-server", h.ts.URL,
+		"-study-id", id,
+		"-name", name,
+		"-dir", t.TempDir(),
+		"-workers", "1",
+	}, extra...)
+	cmd := exec.Command(self, args...)
+	cmd.Env = append(os.Environ(), "CTSAN_EXEC=1")
+	logs := &syncBuffer{}
+	cmd.Stdout = logs
+	cmd.Stderr = logs
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return cmd, logs
+}
+
+// TestFleetMatchesSingleProcess is the fleet acceptance differential at
+// the process level: three real worker subprocesses pull leases over
+// localhost HTTP and the coordinator's folded stream is byte-identical
+// to an uninterrupted in-process run — then a second (warm) submission
+// completes from cache without granting a single lease.
+func TestFleetMatchesSingleProcess(t *testing.T) {
+	want := reference(t)
+	h := newFleetHarness(t, server.Config{MaxActive: 1, QueueDepth: 8, CacheBytes: 32 << 20,
+		LeaseTarget: 100 * time.Millisecond})
+
+	id := h.submitFleet(t)
+	var cmds []*exec.Cmd
+	var logs []*syncBuffer
+	for i := 0; i < 3; i++ {
+		cmd, lg := h.startWorker(t, id, fmt.Sprintf("w%d", i))
+		cmds = append(cmds, cmd)
+		logs = append(logs, lg)
+	}
+	got := h.stream(t, id)
+	for i, cmd := range cmds {
+		if err := cmd.Wait(); err != nil {
+			t.Fatalf("worker %d exited with %v:\n%s", i, err, logs[i])
+		}
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("fleet stream differs from in-process run:\n got: %s\nwant: %s", got, want)
+	}
+	st := h.status(t, id)
+	if st.Status != "done" || st.Fleet == nil || st.Fleet.Granted == 0 {
+		t.Fatalf("fleet study after run: %+v", st)
+	}
+	// The workers' per-lease logs follow the supervisor's structured
+	// format.
+	all := logs[0].String() + logs[1].String() + logs[2].String()
+	if !strings.Contains(all, ": starting (") || !strings.Contains(all, ": complete after upload (") {
+		t.Errorf("worker logs missing per-lease lines:\n%s", all)
+	}
+
+	// Warm path: a repeat submission is served wholly from the
+	// content-addressed cache — same bytes, zero leases, no workers.
+	warmID := h.submitFleet(t)
+	if warm := h.stream(t, warmID); !bytes.Equal(warm, want) {
+		t.Fatalf("warm fleet stream differs from in-process run")
+	}
+	wst := h.status(t, warmID)
+	if wst.Status != "done" || wst.Fleet.Granted != 0 {
+		t.Fatalf("warm fleet study: %+v", wst)
+	}
+}
+
+// TestFleetWorkerKilledMidLease SIGKILLs a worker while it holds (and
+// renews) a live lease: the coordinator must expire the orphaned lease
+// after the TTL, re-lease its range to a surviving worker, and still
+// fold a byte-identical stream — a killed worker costs one lease of
+// re-execution, never a wrong result.
+func TestFleetWorkerKilledMidLease(t *testing.T) {
+	want := reference(t)
+	h := newFleetHarness(t, server.Config{MaxActive: 1, QueueDepth: 8, CacheBytes: -1,
+		LeaseTTL: 500 * time.Millisecond})
+
+	id := h.submitFleet(t)
+
+	// The victim throttles 30s after its first checkpointed point, so it
+	// sits mid-lease — renewing — when the kill lands.
+	victim, vlogs := h.startWorker(t, id, "victim", "-throttle", "30s")
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st := h.status(t, id)
+		if st.Fleet != nil && st.Fleet.Granted >= 1 && strings.Contains(vlogs.String(), "checkpointed") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("victim never started a lease: %+v\n%s", st.Fleet, vlogs)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := victim.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	victim.Wait() //nolint:errcheck // SIGKILL: non-zero exit expected
+
+	// A surviving worker finishes the study, re-executing the orphaned
+	// range once the lease expires.
+	live, llogs := h.startWorker(t, id, "live")
+	got := h.stream(t, id)
+	if err := live.Wait(); err != nil {
+		t.Fatalf("live worker exited with %v:\n%s", err, llogs)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("stream after SIGKILL differs from in-process run:\n got: %s\nwant: %s", got, want)
+	}
+	st := h.status(t, id)
+	if st.Status != "done" {
+		t.Fatalf("study after SIGKILL: %+v", st)
+	}
+	if st.Fleet.Expired < 1 || st.Fleet.Requeued < 1 {
+		t.Errorf("coordinator never expired the victim's lease: %+v", st.Fleet)
+	}
+}
+
+// TestWorkerFlagErrors pins the worker's flag surface.
+func TestWorkerFlagErrors(t *testing.T) {
+	if code, _, errb := ctsan(t, "worker"); code != 1 || !strings.Contains(errb, "-server") {
+		t.Fatalf("missing -server: exit %d, stderr %q", code, errb)
+	}
+}

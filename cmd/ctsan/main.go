@@ -3,9 +3,10 @@
 // isolated, checkpointed subprocess, and merges the per-point records
 // back into the exact JSONL a single uninterrupted process would emit.
 //
-//	ctsan run   -study spec.json -shards 4 -dir ckpt/ -o results.jsonl
-//	ctsan shard -study spec.json -range 0:12 -dir ckpt/
-//	ctsan merge -study spec.json -dir ckpt/ -o results.jsonl
+//	ctsan run    -study spec.json -shards 4 -dir ckpt/ -o results.jsonl
+//	ctsan shard  -study spec.json -range 0:12 -dir ckpt/
+//	ctsan merge  -study spec.json -dir ckpt/ -o results.jsonl
+//	ctsan worker -server http://host:8080 -dir ckpt/
 //
 // `run` is the supervisor: it plans the shard layout, re-executes this
 // binary once per range (`ctsan shard`), retries crashed, hung, or
@@ -16,11 +17,17 @@
 // point in flight. `merge` folds every checkpoint record in -dir, in
 // grid-index order, verifying each record's CRC and point-spec hash.
 //
-// All three commands freeze the study deterministically from the same
-// (spec, -seed, -replicas) inputs, so the grid — per-point seeds
+// `worker` is the pull side of fleet dispatch: it leases contiguous
+// ranges from a campaign service (ctsand, with studies submitted under
+// ?mode=fleet), executes them through the same checkpointed range
+// runner `shard` uses, and uploads the records for the coordinator to
+// verify and fold.
+//
+// All commands freeze the study deterministically from the same
+// (spec, seed, replicas) inputs, so the grid — per-point seeds
 // included — is identical in every participating process, and the merged
-// output is bit-identical to `run` with -shards 1, at any shard count,
-// across any number of crashes and resumes.
+// output is bit-identical to `run` with -shards 1, at any shard count
+// or worker fleet size, across any number of crashes and resumes.
 package main
 
 import (
@@ -52,9 +59,10 @@ func main() {
 const usageText = `usage: ctsan <command> [flags]
 
 commands:
-  run    plan shards, supervise them as subprocesses, and merge
-  shard  execute one shard range with durable per-point checkpoints
-  merge  fold checkpoint records into the final results JSONL
+  run     plan shards, supervise them as subprocesses, and merge
+  shard   execute one shard range with durable per-point checkpoints
+  merge   fold checkpoint records into the final results JSONL
+  worker  pull fleet leases from a campaign service and execute them
 `
 
 // run dispatches a ctsan invocation; it is the whole binary behind an
@@ -73,6 +81,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		err = cmdShard(ctx, args[1:], stderr)
 	case "merge":
 		err = cmdMerge(args[1:], stdout)
+	case "worker":
+		err = cmdWorker(ctx, args[1:], stderr)
 	default:
 		fmt.Fprintf(stderr, "ctsan: unknown command %q\n%s", args[0], usageText)
 		return 2

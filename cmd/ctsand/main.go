@@ -8,6 +8,7 @@
 //
 //	ctsand -addr localhost:8321
 //	ctsand -addr :0 -workers 8 -max-active 2 -queue 16 -cache-mb 64
+//	ctsand -addr :8321 -cache-dir /var/lib/ctsan/cache -lease-ttl 15s
 //
 // Admission is bounded: when -queue studies are already waiting the
 // service answers 429 with Retry-After. At most -max-active studies run
@@ -15,6 +16,15 @@
 // SIGTERM starts a graceful drain: new submissions get 503, running
 // studies finish (up to -drain-timeout, then they are canceled through
 // the campaign ctx plumbing), and the process exits 0.
+//
+// Studies submitted with ?mode=fleet are not run on the local pool:
+// the service coordinates external `ctsan worker` processes that pull
+// contiguous point ranges over the lease API (-lease-ttl, -lease-target
+// tune the ledger), verifies their uploaded records, and folds them
+// into the same byte-identical result stream. With -cache-dir the point
+// cache is persistent: evicted and resident entries spill to disk as
+// encoded shard records and are validated back in at startup, so a
+// restarted service serves repeated points without re-execution.
 //
 // With -debug the service's own listener also serves /debug/vars and
 // /debug/pprof — including the cache hit/miss/eviction and queue-depth
@@ -46,38 +56,52 @@ func main() {
 		maxActive    = fs.Int("max-active", 2, "studies executing concurrently, each on workers/max-active goroutines")
 		queueDepth   = fs.Int("queue", 16, "admission queue depth; submissions beyond it get 429")
 		cacheMB      = fs.Int("cache-mb", 64, "content-addressed result cache budget in MiB (0 disables)")
+		cacheDir     = fs.String("cache-dir", "", "persist the point cache here: evictions and shutdown spill encoded records, startup warm-loads them")
+		leaseTTL     = fs.Duration("lease-ttl", 15*time.Second, "fleet lease lifetime without renewal before its range is re-leased")
+		leaseTarget  = fs.Duration("lease-target", time.Second, "wall time of work the adaptive lease sizer aims to put in one fleet lease")
 		seed         = cliflags.Seed(fs)
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget before running studies are canceled")
 		debug        = fs.Bool("debug", true, "serve /debug/vars and /debug/pprof on the service listener")
 		debugAddr    = cliflags.DebugAddr(fs)
 	)
 	fs.Parse(os.Args[1:])
-	if err := run(*addr, *workers, *maxActive, *queueDepth, *cacheMB, *seed, *drainTimeout, *debug, *debugAddr); err != nil {
+	cacheBytes := int64(*cacheMB) << 20
+	if *cacheMB <= 0 {
+		cacheBytes = -1 // disabled, not "default"
+	}
+	cfg := server.Config{
+		Workers:     *workers,
+		MaxActive:   *maxActive,
+		QueueDepth:  *queueDepth,
+		CacheBytes:  cacheBytes,
+		DefaultSeed: *seed,
+		LeaseTTL:    *leaseTTL,
+		LeaseTarget: *leaseTarget,
+		Debug:       *debug,
+	}
+	if err := run(*addr, cfg, *cacheDir, *drainTimeout, *debugAddr); err != nil {
 		cliflags.Fail("ctsand", err)
 	}
 }
 
-func run(addr string, workers, maxActive, queueDepth, cacheMB int, seed uint64, drainTimeout time.Duration, debug bool, debugAddr string) error {
-	if err := cliflags.CheckSeed(seed); err != nil {
+func run(addr string, cfg server.Config, cacheDir string, drainTimeout time.Duration, debugAddr string) error {
+	if err := cliflags.CheckSeed(cfg.DefaultSeed); err != nil {
 		return err
 	}
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "ctsand: "+format+"\n", args...)
 	}
+	cfg.Logf = logf
 
-	cacheBytes := int64(cacheMB) << 20
-	if cacheMB <= 0 {
-		cacheBytes = -1 // disabled, not "default"
+	srv := server.New(cfg)
+	if cacheDir != "" {
+		if err := os.MkdirAll(cacheDir, 0o755); err != nil {
+			return err
+		}
+		if _, err := srv.EnableCacheSpill(cacheDir); err != nil {
+			return fmt.Errorf("-cache-dir: %w", err)
+		}
 	}
-	srv := server.New(server.Config{
-		Workers:     workers,
-		MaxActive:   maxActive,
-		QueueDepth:  queueDepth,
-		CacheBytes:  cacheBytes,
-		DefaultSeed: seed,
-		Debug:       debug,
-		Logf:        logf,
-	})
 
 	stopDebug, err := cliflags.StartDebug(debugAddr, logf)
 	if err != nil {

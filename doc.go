@@ -92,8 +92,22 @@
 // worker budgets carved from one shared pool, graceful drain through
 // the campaign ctx plumbing — and where determinism pays off twice: a
 // content-addressed result cache (campaign.PointHash of the frozen
-// point → encoded shard record) serves repeated points from memory,
-// bit-identical to resimulating them.
+// point → encoded shard record) serves repeated points from memory —
+// and, with -cache-dir, across restarts — bit-identical to
+// resimulating them.
+//
+// The service is also the fleet coordinator: a study submitted with
+// ?mode=fleet is not run on the local pool but dispatched to pulling
+// `ctsan worker` processes on any machines that can reach it. Workers
+// lease contiguous frozen-grid ranges (adaptively sized to ~1s of
+// work), execute them through the same RunShardRange checkpoint
+// machinery the shard CLI uses, and upload the CRC-framed records; the
+// coordinator verifies every record against its own freeze (CRC +
+// PointHash), requeues expired leases of dead workers, and folds
+// accepted records in grid-index order — so the streamed JSONL is
+// byte-identical to a single-process run at any fleet size, and a
+// SIGKILLed worker costs one lease of re-execution, never a wrong
+// result (determinism rule 7 in PERFORMANCE.md).
 //
 // Every engine layer is traceable: an optional internal/trace tracer
 // captures typed, sim-timed records — kernel scheduling, message

@@ -126,15 +126,44 @@ func (s *Store) Append(record []byte) error {
 	if bytes.IndexByte(record, '\n') >= 0 {
 		return fmt.Errorf("checkpoint: record contains a newline")
 	}
-	next := make([]byte, 0, len(s.content)+len(record)+1)
+	return s.AppendBatch([][]byte{record})
+}
+
+// AppendBatch durably adds records as one atomic write: all of them land
+// or none do. It exists for bulk writers — the result-cache spill
+// persists whole LRU generations — where per-record Append would pay one
+// full rewrite-and-fsync each. Every record must satisfy the Append
+// rules (non-empty, no newline); a batch with an invalid record writes
+// nothing.
+func (s *Store) AppendBatch(records [][]byte) error {
+	if len(records) == 0 {
+		return nil
+	}
+	n := len(s.content)
+	for _, record := range records {
+		if len(record) == 0 {
+			return fmt.Errorf("checkpoint: empty record")
+		}
+		if bytes.IndexByte(record, '\n') >= 0 {
+			return fmt.Errorf("checkpoint: record contains a newline")
+		}
+		n += len(record) + 1
+	}
+	next := make([]byte, 0, n)
 	next = append(next, s.content...)
-	next = append(next, record...)
-	next = append(next, '\n')
+	offsets := make([]int, 0, len(records))
+	for _, record := range records {
+		offsets = append(offsets, len(next))
+		next = append(next, record...)
+		next = append(next, '\n')
+	}
 	if err := atomicio.WriteFile(s.path, next, 0o644); err != nil {
 		return err
 	}
 	s.content = next
-	s.records = append(s.records, next[len(next)-1-len(record):len(next)-1])
-	obs.CheckpointAppends.Add(1)
+	for i, record := range records {
+		s.records = append(s.records, next[offsets[i]:offsets[i]+len(record)])
+	}
+	obs.CheckpointAppends.Add(int64(len(records)))
 	return nil
 }

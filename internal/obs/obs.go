@@ -47,6 +47,27 @@ var (
 	CacheHits      = expvar.NewInt("ctsan.cache_hits")
 	CacheMisses    = expvar.NewInt("ctsan.cache_misses")
 	CacheEvictions = expvar.NewInt("ctsan.cache_evictions")
+	// CacheSpills / CacheWarmLoads count encoded records persisted to the
+	// point-cache spill store and records validated back in at startup.
+	CacheSpills    = expvar.NewInt("ctsan.cache_spills")
+	CacheWarmLoads = expvar.NewInt("ctsan.cache_warm_loads")
+	// Fleet-dispatch counters (the coordinator's lease ledger):
+	// LeasesGranted counts ranges handed to workers, LeasesCompleted
+	// leases whose full range came back verified, LeasesExpired leases
+	// reaped past their deadline, and LeasePointsRequeued the individual
+	// points returned to the pending set by expiry or partial uploads.
+	LeasesGranted       = expvar.NewInt("ctsan.leases_granted")
+	LeasesCompleted     = expvar.NewInt("ctsan.leases_completed")
+	LeasesExpired       = expvar.NewInt("ctsan.leases_expired")
+	LeasePointsRequeued = expvar.NewInt("ctsan.lease_points_requeued")
+	// UploadRecords / UploadBytes count verified shard records accepted
+	// from worker uploads and the (decoded) bytes they carried;
+	// UploadRejected counts lines that failed CRC, hash, or version
+	// verification — nonzero means a worker is broken or hostile, never a
+	// wrong merge.
+	UploadRecords  = expvar.NewInt("ctsan.upload_records")
+	UploadBytes    = expvar.NewInt("ctsan.upload_bytes")
+	UploadRejected = expvar.NewInt("ctsan.upload_rejected")
 )
 
 // Gauges (set, not accumulated), published as expvar ints:
@@ -59,6 +80,10 @@ var (
 	// StudiesActive the number currently executing.
 	QueueDepth    = expvar.NewInt("ctsan.queue_depth")
 	StudiesActive = expvar.NewInt("ctsan.studies_active")
+	// FleetWorkersBusy is the number of distinct fleet workers currently
+	// holding at least one unexpired lease — the coordinator's view of
+	// worker saturation.
+	FleetWorkersBusy = expvar.NewInt("ctsan.fleet_workers_busy")
 )
 
 // Worker-pool activity, fed by internal/parallel around each work unit.

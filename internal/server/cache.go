@@ -2,9 +2,11 @@ package server
 
 import (
 	"container/list"
+	"path/filepath"
 	"sync"
 
 	"ctsan/campaign"
+	"ctsan/internal/checkpoint"
 	"ctsan/internal/obs"
 )
 
@@ -17,8 +19,10 @@ import (
 // Entries are stored as encoded bytes, not live Results, deliberately:
 // Get decodes a fresh Result per hit (Run rewrites its identity fields
 // in place), the byte size gives an honest memory bound, and the stored
-// record is the same wire format the sharded executor checkpoints — a
-// future multi-machine tier can spill or share these records verbatim.
+// record is the same wire format the sharded executor checkpoints and
+// fleet workers upload — PutEncoded feeds verified worker records in
+// without a decode/re-encode round trip, and the spill store persists
+// them verbatim.
 //
 // Determinism makes the cache safe by construction: for a given hash
 // every Put stores identical statistics, so concurrent Puts, lost
@@ -30,6 +34,15 @@ type Cache struct {
 	size  int64
 	ll    *list.List // front = most recently used
 	items map[string]*list.Element
+
+	// Spill state (EnableSpill): evicted and shut-down entries are
+	// persisted as encoded records through a checkpoint store, so a
+	// restarted service warm-loads its cache instead of re-executing.
+	// spillMu guards the store and the onDisk set; it is never taken
+	// while holding mu (appends fsync — too slow for the lookup path).
+	spillMu sync.Mutex
+	spill   *checkpoint.Store
+	onDisk  map[string]bool
 }
 
 type cacheEntry struct {
@@ -45,6 +58,101 @@ func NewCache(maxBytes int64) *Cache {
 		return nil
 	}
 	return &Cache{max: maxBytes, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// SpillFile is the point-cache spill file name inside the -cache-dir
+// directory.
+const SpillFile = "pointcache.jsonl"
+
+// EnableSpill attaches a persistent spill store under dir and
+// warm-loads it: every intact record in dir/pointcache.jsonl is
+// CRC-validated and inserted (up to the byte budget; overflow lines
+// stay on disk only). From then on, entries evicted by the LRU bound
+// are appended to the store before they are dropped from memory, and
+// SpillAll persists the whole resident set — together they make the
+// cache's contents survive restarts. Returns how many records were
+// warm-loaded.
+func (c *Cache) EnableSpill(dir string) (loaded int, err error) {
+	if c == nil {
+		return 0, nil
+	}
+	store, err := checkpoint.Open(filepath.Join(dir, SpillFile))
+	if err != nil {
+		return 0, err
+	}
+	c.spillMu.Lock()
+	defer c.spillMu.Unlock()
+	c.spill = store
+	c.onDisk = make(map[string]bool, len(store.Records()))
+	for _, line := range store.Records() {
+		rec, err := campaign.DecodeShardRecord(line)
+		if err != nil {
+			continue // damaged or foreign line: ignore, never trust
+		}
+		c.onDisk[rec.PointHash] = true
+		c.mu.Lock()
+		_, exists := c.items[rec.PointHash]
+		fits := c.size+int64(len(line)) <= c.max
+		if !exists && fits {
+			// Own the bytes: store.Records() aliases the store's buffer,
+			// which AppendBatch replaces wholesale on the next spill.
+			own := append([]byte(nil), line...)
+			c.items[rec.PointHash] = c.ll.PushBack(&cacheEntry{hash: rec.PointHash, line: own})
+			c.size += int64(len(own))
+			loaded++
+		}
+		c.mu.Unlock()
+	}
+	c.publishGauges()
+	obs.CacheWarmLoads.Add(int64(loaded))
+	return loaded, nil
+}
+
+// SpillAll persists every resident entry not already on disk — the
+// shutdown path, making a clean restart fully warm. Safe to call with
+// spill disabled (no-op).
+func (c *Cache) SpillAll() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	entries := make([]*cacheEntry, 0, c.ll.Len())
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		entries = append(entries, el.Value.(*cacheEntry))
+	}
+	c.mu.Unlock()
+	return c.spillEntries(entries)
+}
+
+// spillEntries appends the not-yet-persisted entries to the spill store
+// as one atomic batch. Entry lines are immutable once cached, so
+// reading them outside mu is safe.
+func (c *Cache) spillEntries(entries []*cacheEntry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	c.spillMu.Lock()
+	defer c.spillMu.Unlock()
+	if c.spill == nil {
+		return nil
+	}
+	batch := make([][]byte, 0, len(entries))
+	for _, e := range entries {
+		if !c.onDisk[e.hash] {
+			batch = append(batch, e.line)
+		}
+	}
+	if len(batch) == 0 {
+		return nil
+	}
+	if err := c.spill.AppendBatch(batch); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		c.onDisk[e.hash] = true
+	}
+	obs.CacheSpills.Add(int64(len(batch)))
+	return nil
 }
 
 // Get implements campaign.PointCache: it decodes a fresh Result from
@@ -91,7 +199,19 @@ func (c *Cache) Put(hash string, res *campaign.Result) {
 		return
 	}
 	line, err := campaign.EncodeShardRecord(hash, res)
-	if err != nil || int64(len(line)) > c.max {
+	if err != nil {
+		return
+	}
+	c.PutEncoded(hash, line)
+}
+
+// PutEncoded inserts an already-encoded shard record — the fleet
+// ingest path, where the coordinator holds the verified worker upload
+// line and a decode/re-encode round trip would be pure waste. The
+// caller must have verified the record (VerifyShardRecord); the line
+// must not be modified after the call.
+func (c *Cache) PutEncoded(hash string, line []byte) {
+	if c == nil || int64(len(line)) > c.max {
 		return
 	}
 	c.mu.Lock()
@@ -104,7 +224,7 @@ func (c *Cache) Put(hash string, res *campaign.Result) {
 	}
 	c.items[hash] = c.ll.PushFront(&cacheEntry{hash: hash, line: line})
 	c.size += int64(len(line))
-	var evicted int64
+	var evicted []*cacheEntry
 	for c.size > c.max {
 		back := c.ll.Back()
 		if back == nil {
@@ -114,12 +234,14 @@ func (c *Cache) Put(hash string, res *campaign.Result) {
 		c.ll.Remove(back)
 		delete(c.items, e.hash)
 		c.size -= int64(len(e.line))
-		evicted++
+		evicted = append(evicted, e)
 	}
 	size, entries := c.size, int64(len(c.items))
 	c.mu.Unlock()
-	if evicted > 0 {
-		obs.CacheEvictions.Add(evicted)
+	if len(evicted) > 0 {
+		obs.CacheEvictions.Add(int64(len(evicted)))
+		// Best effort: a failed spill only costs future recomputation.
+		c.spillEntries(evicted) //nolint:errcheck
 	}
 	obs.CacheBytes.Set(size)
 	obs.CacheEntries.Set(entries)
@@ -137,6 +259,16 @@ func (c *Cache) drop(hash string) {
 		obs.CacheEntries.Set(int64(len(c.items)))
 	}
 	c.mu.Unlock()
+}
+
+// publishGauges refreshes the size gauges outside any lock ordering
+// concerns (reads under mu).
+func (c *Cache) publishGauges() {
+	c.mu.Lock()
+	size, entries := c.size, int64(len(c.items))
+	c.mu.Unlock()
+	obs.CacheBytes.Set(size)
+	obs.CacheEntries.Set(entries)
 }
 
 // Stats reports the cache's current size for the service stats

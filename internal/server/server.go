@@ -67,6 +67,16 @@ type Config struct {
 	// MaxSpecBytes bounds the request body of a study submission
 	// (default 8 MiB).
 	MaxSpecBytes int64
+	// MaxUploadBytes bounds the decoded body of a fleet record upload
+	// (default 256 MiB).
+	MaxUploadBytes int64
+	// LeaseTTL is how long a fleet lease lives without renewal before its
+	// range is re-leased (default 15s).
+	LeaseTTL time.Duration
+	// LeaseTarget is the wall time of work the adaptive lease sizer aims
+	// to put in one lease (default 1s): long enough that HTTP round-trips
+	// amortize, short enough that a straggler holds back one small range.
+	LeaseTarget time.Duration
 	// Debug mounts /debug/vars and /debug/pprof on the service mux.
 	Debug bool
 	// Logf, when non-nil, receives one line per lifecycle event.
@@ -89,6 +99,15 @@ func (c *Config) fill() {
 	if c.MaxSpecBytes <= 0 {
 		c.MaxSpecBytes = 8 << 20
 	}
+	if c.MaxUploadBytes <= 0 {
+		c.MaxUploadBytes = 256 << 20
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 15 * time.Second
+	}
+	if c.LeaseTarget <= 0 {
+		c.LeaseTarget = time.Second
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -105,15 +124,18 @@ type study struct {
 	points    []campaign.FrozenPoint
 	hub       *hub
 	submitted time.Time
+	// fleet, when non-nil, marks the study as fleet-dispatched: it is
+	// executed by external workers pulling leases, not the local pool.
+	fleet *leaseMgr
 
-	mu        sync.Mutex
-	status    string // "queued", "running", "done", "failed", "canceled"
-	errMsg    string
-	done      int
-	hits      int64
-	misses    int64
-	started   time.Time
-	finished  time.Time
+	mu       sync.Mutex
+	status   string // "queued", "running", "done", "failed", "canceled"
+	errMsg   string
+	done     int
+	hits     int64
+	misses   int64
+	started  time.Time
+	finished time.Time
 }
 
 // Status is the wire shape of one study's state.
@@ -126,13 +148,18 @@ type Status struct {
 	Done     int    `json:"done"`
 	Seed     uint64 `json:"seed"`
 	Replicas int    `json:"replicas,omitempty"`
-	// Workers is the per-study budget carved from the shared pool.
+	// Workers is the per-study budget carved from the shared pool (0 for
+	// fleet studies, which external workers execute).
 	Workers     int    `json:"workers"`
 	CacheHits   int64  `json:"cache_hits"`
 	CacheMisses int64  `json:"cache_misses"`
 	Submitted   string `json:"submitted"`
 	Started     string `json:"started,omitempty"`
 	Finished    string `json:"finished,omitempty"`
+	// Mode is "local" (the service's own pool) or "fleet" (pull-based
+	// workers); Fleet carries the live lease ledger of a fleet study.
+	Mode  string       `json:"mode"`
+	Fleet *FleetStatus `json:"fleet,omitempty"`
 }
 
 func (st *study) snapshot() Status {
@@ -151,6 +178,12 @@ func (st *study) snapshot() Status {
 		CacheHits:   st.hits,
 		CacheMisses: st.misses,
 		Submitted:   st.submitted.UTC().Format(time.RFC3339Nano),
+		Mode:        "local",
+	}
+	if st.fleet != nil {
+		s.Mode = "fleet"
+		fs := st.fleet.stats()
+		s.Fleet = &fs
 	}
 	if !st.started.IsZero() {
 		s.Started = st.started.UTC().Format(time.RFC3339Nano)
@@ -265,6 +298,22 @@ func New(cfg Config) *Server {
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// EnableCacheSpill makes the point cache persistent under dir (the
+// -cache-dir flag of ctsand): cached records already spilled there are
+// validated and warm-loaded now, LRU evictions spill instead of
+// discarding, and Shutdown persists the resident set. A disabled cache
+// (CacheBytes < 0) makes this a no-op.
+func (s *Server) EnableCacheSpill(dir string) (loaded int, err error) {
+	loaded, err = s.cache.EnableSpill(dir)
+	if err != nil {
+		return 0, err
+	}
+	if loaded > 0 {
+		s.cfg.Logf("cache: warm-loaded %d spilled records from %s", loaded, dir)
+	}
+	return loaded, nil
+}
+
 // Shutdown stops admission (submissions get 503), waits for queued and
 // running studies to drain, and once ctx is done cancels the remainder
 // through the campaign ctx plumbing — every replica loop observes the
@@ -293,6 +342,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-drained
 	}
 	s.cancelRun() // release the context either way
+	if err := s.cache.SpillAll(); err != nil {
+		s.cfg.Logf("cache: final spill failed: %v", err)
+		return err
+	}
 	return nil
 }
 
@@ -307,6 +360,10 @@ func (s *Server) slot() {
 }
 
 func (s *Server) runStudy(st *study) {
+	if st.fleet != nil {
+		s.runFleetStudy(st)
+		return
+	}
 	st.setRunning()
 	if s.testGate != nil {
 		select {
@@ -357,6 +414,9 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /api/v1/studies/{id}/results", s.handleResults)
 	mux.HandleFunc("GET /api/v1/studies/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /api/v1/studies/{id}/digest", s.handleDigest)
+	mux.HandleFunc("POST /api/v1/studies/{id}/lease", s.handleLease)
+	mux.HandleFunc("POST /api/v1/studies/{id}/lease/{lease}/renew", s.handleLeaseRenew)
+	mux.HandleFunc("POST /api/v1/studies/{id}/lease/{lease}/complete", s.handleLeaseComplete)
 	mux.HandleFunc("GET /api/v1/scenarios", s.handleScenarios)
 	mux.HandleFunc("GET /api/v1/stats", s.handleStats)
 	if s.cfg.Debug {
@@ -430,6 +490,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	mode := r.URL.Query().Get("mode")
+	switch mode {
+	case "", "local", "fleet":
+	default:
+		writeError(w, http.StatusBadRequest, "mode: %q is not \"local\" or \"fleet\"", mode)
+		return
+	}
 	// Freeze the grid now: enumeration errors are submission errors, and
 	// the materialized points power the progress and cache surfaces.
 	points, err := spec.FrozenPoints(campaign.WithSeed(seed), campaign.WithReplicas(replicas))
@@ -449,6 +516,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		submitted: time.Now(),
 		status:    "queued",
 	}
+	if mode == "fleet" {
+		st.workers = 0 // external workers execute; the slot only folds
+	}
 
 	s.mu.Lock()
 	if s.draining {
@@ -459,6 +529,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.nextID++
 	st.id = fmt.Sprintf("s%06d", s.nextID)
+	if mode == "fleet" {
+		st.fleet = newLeaseMgr(st.id, spec, points, s.cfg.LeaseTTL, s.cfg.LeaseTarget)
+	}
 	select {
 	case s.queue <- st:
 		s.studies[st.id] = st

@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # Runs the emulation-path benchmark suite — the scenario campaign
-# benchmarks, the cluster reset-vs-construct pair, and the campaign
-# memory benchmark — and writes the results to BENCH_emulation.json via
+# benchmarks, the cluster reset-vs-construct pair, the campaign
+# memory benchmark, and the SAN campaign baseline — and writes the
+# results to BENCH_emulation.json via
 # cmd/benchjson, so the perf trajectory of the allocation-lean emulator
 # is tracked per commit (CI uploads the file as a build artifact).
 #
@@ -29,9 +30,9 @@ TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
 go test -run=- \
-    -bench 'BenchmarkScenarioCampaign(Serial|Parallel|Traced)|BenchmarkCluster(Reset|NewPerReplica)|BenchmarkCampaignMemory|BenchmarkDESSchedule$' \
+    -bench 'BenchmarkScenarioCampaign(Serial|Parallel|Traced)|BenchmarkCluster(Reset|NewPerReplica)|BenchmarkCampaignMemory|BenchmarkDESSchedule$|BenchmarkSANCampaignSerial' \
     -benchmem -benchtime "$BENCHTIME" \
-    ./internal/scenario/ ./internal/netsim/ ./internal/metrics/ ./internal/des/ \
+    ./internal/scenario/ ./internal/netsim/ ./internal/metrics/ ./internal/des/ ./campaign/ \
     >"$TMP"
 cat "$TMP" >&2
 

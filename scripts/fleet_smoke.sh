@@ -1,0 +1,122 @@
+#!/usr/bin/env sh
+# Smoke-tests fleet dispatch end to end against the real binaries:
+# starts ctsand, submits a study under ?mode=fleet, serves it with two
+# `ctsan worker` processes — SIGKILLing one mid-lease so the
+# coordinator must expire and re-lease its range — and byte-compares
+# the coordinator's folded JSONL against a single-process `ctsan run`
+# of the same study. A killed worker may cost a lease of re-execution;
+# it must never change a result bit.
+set -eu
+cd "$(dirname "$0")/.."
+
+LOG="$(mktemp)"
+VLOG="$(mktemp)"
+WLOG="$(mktemp)"
+SPEC="$(mktemp)"
+FLEET="$(mktemp)"
+REF="$(mktemp)"
+WORKDIR="$(mktemp -d)"
+PID=""
+VPID=""
+WPID=""
+cleanup() {
+    [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+    [ -n "$VPID" ] && kill -9 "$VPID" 2>/dev/null || true
+    [ -n "$WPID" ] && kill "$WPID" 2>/dev/null || true
+    rm -f "$LOG" "$VLOG" "$WLOG" "$SPEC" "$FLEET" "$REF"
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+go build -o /tmp/ctsand-fleet-smoke ./cmd/ctsand
+go build -o /tmp/ctsan-fleet-smoke ./cmd/ctsan
+
+cat >"$SPEC" <<'EOF'
+{"v":1,"name":"fleet-smoke","points":[
+  {"engine":"san","spec":{"N":3,"Replicas":200}},
+  {"engine":"san","spec":{"N":5,"Replicas":200}},
+  {"engine":"san","spec":{"N":7,"Replicas":100}}]}
+EOF
+
+# The single-process ground truth the fleet must reproduce byte for
+# byte (ctsand's default seed is 1).
+/tmp/ctsan-fleet-smoke run -study "$SPEC" -seed 1 -shards 1 \
+    -dir "$WORKDIR/ref" -o "$REF" 2>/dev/null
+
+# Short lease TTL so the killed worker's range re-leases quickly.
+/tmp/ctsand-fleet-smoke -addr 127.0.0.1:0 -lease-ttl 1s 2>"$LOG" &
+PID=$!
+
+ADDR=""
+i=0
+while [ $i -lt 100 ]; do
+    ADDR="$(sed -n 's#.*listening on http://\([^/]*\)/.*#\1#p' "$LOG" | head -n 1)"
+    [ -n "$ADDR" ] && break
+    kill -0 "$PID" 2>/dev/null || { echo "ctsand exited early:" >&2; cat "$LOG" >&2; exit 1; }
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$ADDR" ] || { echo "ctsand never logged its address" >&2; cat "$LOG" >&2; exit 1; }
+echo "campaign service at $ADDR" >&2
+
+ID="$(curl -sf -X POST --data-binary @"$SPEC" "http://$ADDR/api/v1/studies?mode=fleet" |
+    sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+[ -n "$ID" ] || { echo "fleet submission rejected" >&2; exit 1; }
+
+fleet_field() { # fleet_field <name>
+    curl -sf "http://$ADDR/api/v1/studies/$ID" |
+        sed -n "s/.*\"$1\":\([0-9]*\).*/\1/p"
+}
+
+# The victim worker throttles 30s after each checkpointed point, so it
+# is guaranteed to be holding (and renewing) a lease when the SIGKILL
+# lands.
+/tmp/ctsan-fleet-smoke worker -server "http://$ADDR" -study-id "$ID" \
+    -name victim -dir "$WORKDIR/victim" -workers 1 -throttle 30s 2>"$VLOG" &
+VPID=$!
+
+i=0
+while [ $i -lt 300 ]; do
+    grep -q "checkpointed" "$VLOG" && break
+    kill -0 "$VPID" 2>/dev/null || { echo "victim exited early:" >&2; cat "$VLOG" >&2; exit 1; }
+    sleep 0.1
+    i=$((i + 1))
+done
+grep -q "checkpointed" "$VLOG" || { echo "victim never checkpointed a point" >&2; cat "$VLOG" >&2; exit 1; }
+
+kill -9 "$VPID"
+wait "$VPID" 2>/dev/null || true
+VPID=""
+echo "victim worker SIGKILLed mid-lease" >&2
+
+# The survivor finishes the study (it exits when the coordinator
+# answers done), re-executing the orphaned range after the TTL.
+/tmp/ctsan-fleet-smoke worker -server "http://$ADDR" -study-id "$ID" \
+    -name survivor -dir "$WORKDIR/survivor" -workers 1 2>"$WLOG" &
+WPID=$!
+
+# The results stream follows the live tail, so this curl returns
+# exactly when the study is done.
+curl -sfN "http://$ADDR/api/v1/studies/$ID/results" >"$FLEET"
+wait "$WPID" || { echo "survivor worker failed:" >&2; cat "$WLOG" >&2; exit 1; }
+WPID=""
+
+cmp "$FLEET" "$REF" || {
+    echo "fleet stream differs from single-process ctsan run" >&2
+    exit 1
+}
+[ -s "$FLEET" ] || { echo "empty fleet result stream" >&2; exit 1; }
+
+EXPIRED="$(fleet_field expired)"
+[ -n "$EXPIRED" ] && [ "$EXPIRED" -ge 1 ] || {
+    echo "coordinator never expired the victim's lease (expired=$EXPIRED)" >&2
+    exit 1
+}
+
+kill -TERM "$PID"
+RC=0
+wait "$PID" || RC=$?
+PID=""
+[ "$RC" = "0" ] || { echo "graceful shutdown exited $RC" >&2; cat "$LOG" >&2; exit 1; }
+
+echo "fleet smoke OK: $EXPIRED lease(s) expired after SIGKILL, stream byte-identical to ctsan run, clean drain" >&2
